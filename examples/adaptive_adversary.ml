@@ -1,0 +1,52 @@
+(* Resource competitiveness against the adaptive adversary (Lemmas
+   2.4–2.7): Eve watches every round and kills exactly the nodes that
+   announce committee membership — the strongest move against the
+   committee structure. Each wipe-out doubles the survivors' re-election
+   probability, so Eve must spend more and more crashes to keep stalling,
+   while the algorithm's message bill grows only in proportion to what
+   Eve actually spends.
+
+   Run with: dune exec examples/adaptive_adversary.exe *)
+
+module CR = Repro_renaming.Crash_renaming
+module Runner = Repro_renaming.Runner
+module E = Repro_renaming.Experiment
+module Rng = Repro_util.Rng
+
+let () =
+  let n = 128 in
+  let ids = E.random_ids ~seed:5 ~namespace:(64 * n) ~n in
+  print_endline
+    "Eve's budget vs what the algorithm pays (crash renaming, n=128):";
+  let rows =
+    List.map
+      (fun budget ->
+        let rng = Rng.of_seed (1000 + budget) in
+        let crash =
+          CR.Net.Crash.committee_killer ~rng ~budget ~partial:true ()
+        in
+        let a = Runner.assess (CR.run ~ids ~crash ~seed:11 ()) in
+        assert a.Runner.correct;
+        [
+          string_of_int budget;
+          string_of_int a.crash_cost;
+          string_of_int a.decided;
+          string_of_int a.rounds;
+          string_of_int a.messages;
+          (if a.crash_cost = 0 then "-"
+           else string_of_int (a.messages / a.crash_cost));
+        ])
+      [ 0; 2; 4; 8; 16; 32; 64; 127 ]
+  in
+  E.print_table ~title:"committee killer escalation"
+    ~header:
+      [ "Eve's budget"; "crashes spent"; "survivors"; "rounds"; "messages";
+        "msgs / crash" ]
+    ~rows;
+  print_endline
+    "\nReading: rounds stay at 9·⌈log n⌉ no matter what Eve does, and the \
+     message bill stays bounded by Õ((f+log n)·n) — so the messages Eve \
+     extracts per crash spent fall off sharply (killed nodes are silent, \
+     and each wipe-out only doubles the re-election probability). That \
+     diminishing-returns curve is the resource-competitive profile of \
+     Theorem 1.2."

@@ -1,0 +1,72 @@
+(* Byzantine-resilient, order-preserving renaming under active attack.
+
+   A third of the tolerable bound of nodes run the "split-world" strategy:
+   they announce their identities to only half of the committee (forcing
+   the fingerprint divide-and-conquer to recurse), equivocate in every
+   consensus and validator round, and push fake NEW identities at
+   bystanders. The honest nodes still converge on unique, rank-ordered
+   identities.
+
+   Run with: dune exec examples/byzantine_committee.exe *)
+
+module BR = Repro_renaming.Byzantine_renaming
+module BS = Repro_renaming.Byz_strategies
+module Runner = Repro_renaming.Runner
+module Pool = Repro_crypto.Committee_pool
+module Rng = Repro_util.Rng
+
+let () =
+  let n = 48 in
+  let namespace = n * n in
+  let f = 6 in
+  let ids = Repro_renaming.Experiment.random_ids ~seed:9 ~namespace ~n in
+  let params =
+    {
+      (BR.default_params ~namespace ~shared_seed:77) with
+      pool_probability = `Fixed 0.5;
+    }
+  in
+  (* Carlo corrupts f nodes before the shared pool is revealed. *)
+  let byz_ids =
+    let rng = Rng.of_seed 31337 in
+    Array.to_list (Rng.sample_without_replacement rng f ids)
+  in
+  let pool = BR.pool_of_params params ~n in
+  let committee = Array.to_list ids |> List.filter (Pool.mem pool) in
+  let byz_in_committee = List.filter (fun b -> List.mem b committee) byz_ids in
+  Printf.printf
+    "n=%d nodes, namespace [1..%d], committee of %d (of which %d Byzantine, \
+     tolerance %d)\n"
+    n namespace (List.length committee)
+    (List.length byz_in_committee)
+    ((List.length committee - 1) / 3);
+
+  let strategy = BS.split_world params ~rng:(Rng.of_seed 4242) ~ids in
+  let res =
+    BR.run ~params ~ids ~seed:5 ~byz:(byz_ids, strategy) ~max_rounds:400_000 ()
+  in
+  let a = Runner.assess res in
+  Printf.printf
+    "\nattack outcome: honest decided %d/%d, unique=%b strong=%b \
+     order-preserving=%b\n"
+    a.Runner.decided (n - f) a.unique a.strong a.order_preserving;
+  Printf.printf
+    "cost under attack: %d rounds, %d honest messages (%d bits); the \
+     adversary burned %d messages\n"
+    a.rounds a.messages a.bits
+    res.metrics.Repro_sim.Metrics.byz_messages;
+
+  (* Order preservation visualised: sorted originals map to 1,2,3,... *)
+  print_endline "\nfirst assignments (original order preserved):";
+  List.iteri
+    (fun i (orig, fresh) ->
+      if i < 10 then Printf.printf "  %5d -> %2d\n" orig fresh)
+    a.assignments;
+
+  (* Contrast with a clean run: recursion under attack costs rounds. *)
+  let clean = Runner.assess (BR.run ~params ~ids ~seed:5 ()) in
+  Printf.printf
+    "\nclean run for contrast: %d rounds, %d messages — the attack forced \
+     %.1fx more rounds (time scales with actual f, Thm 1.3)\n"
+    clean.rounds clean.messages
+    (float_of_int a.rounds /. float_of_int clean.rounds)

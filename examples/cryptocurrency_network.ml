@@ -1,0 +1,75 @@
+(* The paper's motivating scenario (Section 1): a cryptocurrency-style
+   network whose participants carry long identities from a huge namespace
+   (public-key hashes), where using original identities for communication
+   is costly. The nodes agree on short ids in [1..n]; some participants
+   drop out mid-protocol (churn = crash failures).
+
+   The demo contrasts the paper's committee algorithm with the flooding
+   baseline on the same workload: same correctness, a fraction of the
+   traffic, and small constant-size messages instead of Ω(n)-identity
+   gossip payloads.
+
+   Run with: dune exec examples/cryptocurrency_network.exe *)
+
+module E = Repro_renaming.Experiment
+module CR = Repro_renaming.Crash_renaming
+module FL = Repro_renaming.Flooding_renaming
+module Runner = Repro_renaming.Runner
+module Rng = Repro_util.Rng
+
+let () =
+  let n = 200 in
+  (* "Addresses": identities from a 2^20-sized namespace. *)
+  let namespace = 1 lsl 20 in
+  let ids = E.random_ids ~seed:2024 ~namespace ~n in
+  let churn = 12 in
+  Printf.printf
+    "network: %d participants, addresses drawn from [1..%d], %d drop out \
+     mid-run\n\n"
+    n namespace churn;
+
+  let committee =
+    let rng = Rng.of_seed 1 in
+    let crash = CR.Net.Crash.random ~rng ~f:churn ~horizon:60 () in
+    Runner.assess (CR.run ~ids ~crash ~seed:3 ())
+  in
+  let flooding =
+    let rng = Rng.of_seed 1 in
+    let crash = FL.Net.Crash.random ~rng ~f:churn ~horizon:(churn + 1) () in
+    Runner.assess
+      (FL.run ~params:{ rounds = `Tolerate churn } ~ids ~crash ~seed:3 ())
+  in
+  E.print_table ~title:"committee renaming vs flooding gossip"
+    ~header:
+      [ "algorithm"; "survivors renamed"; "unique"; "rounds"; "messages";
+        "megabits on the wire" ]
+    ~rows:
+      [
+        [
+          "this-work (committee)";
+          Printf.sprintf "%d/%d" committee.Runner.decided
+            (n - committee.crashed);
+          string_of_bool committee.unique;
+          string_of_int committee.rounds;
+          string_of_int committee.messages;
+          Printf.sprintf "%.2f" (float_of_int committee.bits /. 1e6);
+        ];
+        [
+          "flooding gossip";
+          Printf.sprintf "%d/%d" flooding.Runner.decided (n - flooding.crashed);
+          string_of_bool flooding.unique;
+          string_of_int flooding.rounds;
+          string_of_int flooding.messages;
+          Printf.sprintf "%.2f" (float_of_int flooding.bits /. 1e6);
+        ];
+      ];
+  Printf.printf
+    "\ntraffic saving: %.1fx fewer messages, %.1fx fewer bits\n"
+    (float_of_int flooding.messages /. float_of_int committee.messages)
+    (float_of_int flooding.bits /. float_of_int committee.bits);
+  (* A few of the resulting short ids. *)
+  print_endline "\nsample of assigned short ids (committee run):";
+  List.iteri
+    (fun i (orig, fresh) ->
+      if i < 8 then Printf.printf "  address %7d -> short id %3d\n" orig fresh)
+    committee.assignments

@@ -1,0 +1,25 @@
+type 'm t = {
+  me : int;
+  members : int list;
+  exchange : (int * 'm) list -> (int * 'm) list;
+}
+
+let size t = List.length t.members
+let fault_threshold t = (size t - 1) / 3
+let quorum t = size t - fault_threshold t
+
+let dedup_inbox t inbox =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun (src, _) ->
+      if (not (List.mem src t.members)) || Hashtbl.mem seen src then false
+      else begin
+        Hashtbl.replace seen src ();
+        true
+      end)
+    inbox
+
+let exchange_round t out = dedup_inbox t (t.exchange out)
+
+let broadcast t m = exchange_round t (List.map (fun dst -> (dst, m)) t.members)
+let silent_round t = exchange_round t []

@@ -1,0 +1,41 @@
+(** Transport abstraction for the committee-internal sub-protocols.
+
+    {!Phase_king} and {!Validator} run {e inside} a node program of the
+    renaming protocol: each of their logical rounds is one round of the
+    outer synchronous network. Rather than depending on a concrete engine
+    instantiation, they speak through this record, which the caller builds
+    from its engine context.
+
+    [members] is the node's committee view. The sub-protocols tolerate
+    [t = floor((|members| - 1) / 3)] Byzantine members and require all
+    correct members to share the same view — which the renaming protocol
+    guarantees by treating membership announcements as transferable
+    (see DESIGN.md): a Byzantine candidate is either in everyone's view or
+    in no correct node's view. Byzantine members may still equivocate
+    arbitrarily {e within} every sub-protocol round. *)
+
+type 'm t = {
+  me : int;
+  members : int list;  (** the committee view, ascending, includes [me] *)
+  exchange : (int * 'm) list -> (int * 'm) list;
+      (** one synchronous round: send, then receive [(src, msg)] pairs *)
+}
+
+val size : 'm t -> int
+
+val fault_threshold : 'm t -> int
+(** [floor((|members| - 1) / 3)]. *)
+
+val quorum : 'm t -> int
+(** [|members| - fault_threshold]: the "heard from all correct members"
+    threshold. *)
+
+val broadcast : 'm t -> 'm -> (int * 'm) list
+(** Send [m] to every member (including self) and return the inbox,
+    filtered to senders inside the view and deduplicated: only the first
+    message of each sender is kept, so an equivocating or spamming member
+    contributes at most one vote. *)
+
+val silent_round : 'm t -> (int * 'm) list
+(** Participate in the round barrier without sending (e.g. a non-king in
+    the king round); returns the filtered, deduplicated inbox. *)

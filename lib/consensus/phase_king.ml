@@ -1,0 +1,78 @@
+type msg = Vote of bool | Propose of bool | King of bool
+
+let rounds_needed ~committee_size =
+  let t = (committee_size - 1) / 3 in
+  3 * (t + 1)
+
+(* Count, among deduplicated inbox messages, the senders whose message
+   projects to the wanted constructor with value [b]. *)
+let count project extract inbox b =
+  List.length
+    (List.filter
+       (fun (_, m) ->
+         match Option.bind (project m) extract with
+         | Some v -> Bool.equal v b
+         | None -> false)
+       inbox)
+
+let run ~net ~embed ~project ~kings ~input =
+  let t = Committee_net.fault_threshold net in
+  let quorum = Committee_net.quorum net in
+  let kings =
+    match List.filteri (fun i _ -> i <= t) kings with
+    | [] -> invalid_arg "Phase_king.run: no kings"
+    | ks when List.length ks < t + 1 ->
+        invalid_arg "Phase_king.run: fewer than t+1 kings"
+    | ks -> ks
+  in
+  let vote = function Vote b -> Some b | Propose _ | King _ -> None in
+  let propose = function Propose b -> Some b | Vote _ | King _ -> None in
+  let king_val = function King b -> Some b | Vote _ | Propose _ -> None in
+  let v = ref input in
+  List.iter
+    (fun king ->
+      (* Round 1: universal exchange of current values. *)
+      let inbox = Committee_net.broadcast net (embed (Vote !v)) in
+      let cnt b = count project vote inbox b in
+      let proposal =
+        if cnt true >= quorum then Some true
+        else if cnt false >= quorum then Some false
+        else None
+      in
+      (* Round 2: exchange proposals. A correct member proposes at most
+         one value, and no two correct members propose different values
+         (two quorums of voters intersect in > t senders, who would all
+         have had to equivocate). *)
+      let inbox =
+        match proposal with
+        | Some b -> Committee_net.broadcast net (embed (Propose b))
+        | None -> Committee_net.silent_round net
+      in
+      let props b = count project propose inbox b in
+      let supported =
+        if props true > t then Some true
+        else if props false > t then Some false
+        else None
+      in
+      let strong =
+        match supported with Some b -> props b >= quorum | None -> false
+      in
+      (match supported with Some b -> v := b | None -> ());
+      (* Round 3: the phase king circulates its value; members without a
+         strong quorum adopt it. *)
+      let inbox =
+        if net.Committee_net.me = king then
+          Committee_net.broadcast net (embed (King !v))
+        else Committee_net.silent_round net
+      in
+      if not strong then begin
+        let from_king =
+          List.find_map
+            (fun (src, m) ->
+              if src = king then Option.bind (project m) king_val else None)
+            inbox
+        in
+        match from_king with Some b -> v := b | None -> ()
+      end)
+    kings;
+  !v

@@ -1,0 +1,34 @@
+(** Binary Byzantine consensus by the phase-king algorithm
+    (Berman–Garay–Perry), instantiating the paper's Lemma 3.4.
+
+    Tolerates [t = floor((n-1)/3)] Byzantine members among [n] committee
+    members with symmetric views. Runs [t + 1] phases of 3 rounds each —
+    [O(committee size)] rounds and [O(committee^2)] messages per round,
+    matching the lemma's [O(ĉ_g)] rounds / [O(ĉ_g^3)] messages budget.
+
+    Guarantees for all correct members (proofs in the classical
+    literature; property-tested in [test/test_phase_king.ml]):
+    - {e agreement}: all outputs equal;
+    - {e validity}: the output is some correct member's input (in the
+      binary case: if all correct inputs agree, that value is output). *)
+
+type msg = Vote of bool | Propose of bool | King of bool
+
+val rounds_needed : committee_size:int -> int
+(** [3 * (t + 1)] where [t = floor((committee_size - 1) / 3)]: how many
+    network rounds one execution consumes. All correct members consume
+    exactly this many rounds, keeping the outer protocol in lock-step. *)
+
+val run :
+  net:'m Committee_net.t ->
+  embed:(msg -> 'm) ->
+  project:('m -> msg option) ->
+  kings:int list ->
+  input:bool ->
+  bool
+(** [run ~net ~embed ~project ~kings ~input] executes one consensus
+    instance. [kings] must contain at least [t + 1] identities agreed by
+    all correct members (the shared-randomness king order of the pool);
+    extra entries are ignored. [embed]/[project] splice the consensus
+    messages into the outer protocol's message type; foreign messages
+    arriving mid-instance are ignored via [project]. *)

@@ -1,0 +1,60 @@
+type 'v msg = Input of 'v | Lock of 'v option
+
+let rounds_needed = 2
+
+type 'v result = { same : bool; value : 'v }
+
+(* Tally a list of values into (value, count) groups under [equal]. *)
+let tally equal values =
+  List.fold_left
+    (fun groups v ->
+      let rec bump = function
+        | [] -> [ (v, 1) ]
+        | (v', c) :: rest when equal v v' -> (v', c + 1) :: rest
+        | g :: rest -> g :: bump rest
+      in
+      bump groups)
+    [] values
+
+let best equal values =
+  match tally equal values with
+  | [] -> None
+  | groups ->
+      Some
+        (List.fold_left
+           (fun ((_, bc) as acc) ((_, c) as g) -> if c > bc then g else acc)
+           (List.hd groups) (List.tl groups))
+
+let run ~net ~embed ~project ~equal ~input =
+  let quorum = Committee_net.quorum net in
+  let t = Committee_net.fault_threshold net in
+  let inputs m = match m with Input v -> Some v | Lock _ -> None in
+  let locks m = match m with Lock l -> Some l | Input _ -> None in
+  (* Round 1: exchange inputs; lock a value seen from a quorum. At most
+     one value can be locked across all correct members: two quorums of
+     senders intersect in more than t members, who would all have had to
+     send both values. *)
+  let inbox = Committee_net.broadcast net (embed (Input input)) in
+  let received =
+    List.filter_map (fun (_, m) -> Option.bind (project m) inputs) inbox
+  in
+  let lock =
+    match best equal received with
+    | Some (v, c) when c >= quorum -> Some v
+    | _ -> None
+  in
+  (* Round 2: exchange locks; grade the support for the unique lockable
+     value. *)
+  let inbox = Committee_net.broadcast net (embed (Lock lock)) in
+  let lock_values =
+    List.filter_map
+      (fun (_, m) ->
+        match Option.bind (project m) locks with
+        | Some (Some v) -> Some v
+        | Some None | None -> None)
+      inbox
+  in
+  match best equal lock_values with
+  | Some (v, c) when c >= quorum -> { same = true; value = v }
+  | Some (v, c) when c >= t + 1 -> { same = false; value = v }
+  | _ -> { same = false; value = input }

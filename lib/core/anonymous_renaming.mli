@@ -1,0 +1,40 @@
+(** Empirical companion to the paper's Ω(n) message lower bound
+    (Theorem 1.4, Appendix E).
+
+    The proof's engine: if a strong renaming algorithm sends few messages,
+    then (in expectation) some nodes neither send nor receive anything and
+    must choose their new identity from their own identity and the shared
+    randomness alone; two such "silent" nodes collide with non-trivial
+    probability, so success probability ≥ 3/4 forces Ω(n) messages — even
+    with shared randomness and authentication.
+
+    This module measures exactly that: collision frequencies of silent
+    choice rules against the birthday bound, and the success probability
+    of budget-limited protocols that can only coordinate as many nodes as
+    they have messages. *)
+
+type silent_rule =
+  | Uniform_pick  (** each silent node picks uniformly in the target range *)
+  | Shared_hash
+      (** each silent node applies a shared random hash to its own
+          identity — showing shared randomness alone cannot help when the
+          original namespace is large ([N ≥ 5n²] in the theorem) *)
+
+val birthday_bound : k:int -> m:int -> float
+(** [1 - Π_{i<k} (1 - i/m)]: the collision probability of [k] independent
+    uniform choices among [m] slots. *)
+
+val collision_probability :
+  rule:silent_rule -> seed:int -> namespace:int -> k:int -> m:int ->
+  trials:int -> float
+(** Empirical probability that [k] silent nodes (identities drawn
+    distinct from [\[namespace\]]) produce at least one duplicate when
+    naming into [\[m\]]. *)
+
+val budget_success_probability :
+  seed:int -> namespace:int -> n:int -> budget:int -> trials:int -> float
+(** Success probability of the natural budget-[B] protocol: [min B n]
+    nodes spend one message each to be coordinated into distinct slots;
+    the rest stay silent and hash into the remaining slots. As
+    [budget/n → 1] success approaches 1; for [budget = o(n)] it collapses
+    — the lower bound's shape. *)

@@ -1,0 +1,292 @@
+module Interval = Repro_util.Interval
+module Ilog = Repro_util.Ilog
+module Rng = Repro_util.Rng
+
+module Msg = struct
+  type t =
+    | Notify
+    | Status of { id : int; iv : Interval.t; d : int; p : int }
+    | Response of { id : int; iv : Interval.t; d : int; p : int }
+
+  (* 2 tag bits plus Elias-gamma coded payload fields (the exact cost of
+     [encode]); every field is O(log N) bits as the theorem requires. *)
+  let payload_bits id iv d p =
+    Repro_sim.Wire.gamma_bits id
+    + Repro_sim.Wire.gamma_bits iv.Interval.lo
+    + Repro_sim.Wire.gamma_bits (Interval.size iv - 1)
+    + Repro_sim.Wire.gamma_bits d + Repro_sim.Wire.gamma_bits p
+
+  let bits = function
+    | Notify -> 2
+    | Status { id; iv; d; p } | Response { id; iv; d; p } ->
+        2 + payload_bits id iv d p
+
+  let encode m =
+    let w = Repro_sim.Wire.Writer.create () in
+    let payload tag id iv d p =
+      Repro_sim.Wire.Writer.add_fixed w tag ~width:2;
+      Repro_sim.Wire.Writer.add_gamma w id;
+      Repro_sim.Wire.Writer.add_gamma w iv.Interval.lo;
+      Repro_sim.Wire.Writer.add_gamma w (Interval.size iv - 1);
+      Repro_sim.Wire.Writer.add_gamma w d;
+      Repro_sim.Wire.Writer.add_gamma w p
+    in
+    (match m with
+    | Notify -> Repro_sim.Wire.Writer.add_fixed w 0 ~width:2
+    | Status { id; iv; d; p } -> payload 1 id iv d p
+    | Response { id; iv; d; p } -> payload 2 id iv d p);
+    (Repro_sim.Wire.Writer.contents w, Repro_sim.Wire.Writer.bit_length w)
+
+  let decode s =
+    let r = Repro_sim.Wire.Reader.of_string s in
+    match Repro_sim.Wire.Reader.read_fixed r ~width:2 with
+    | 0 -> Some Notify
+    | (1 | 2) as tag ->
+        let id = Repro_sim.Wire.Reader.read_gamma r in
+        let lo = Repro_sim.Wire.Reader.read_gamma r in
+        let span = Repro_sim.Wire.Reader.read_gamma r in
+        let d = Repro_sim.Wire.Reader.read_gamma r in
+        let p = Repro_sim.Wire.Reader.read_gamma r in
+        let iv = Interval.make lo (lo + span) in
+        Some
+          (if tag = 1 then Status { id; iv; d; p }
+           else Response { id; iv; d; p })
+    | _ -> None
+    | exception Invalid_argument _ -> None
+
+  let pp ppf = function
+    | Notify -> Format.fprintf ppf "notify"
+    | Status { id; iv; d; p } ->
+        Format.fprintf ppf "status(%d,%a,d=%d,p=%d)" id Interval.pp iv d p
+    | Response { id; iv; d; p } ->
+        Format.fprintf ppf "response(%d,%a,d=%d,p=%d)" id Interval.pp iv d p
+end
+
+module Net = Repro_sim.Engine.Make (Msg)
+
+type reelection_policy = On_demand | Every_phase
+
+type params = {
+  election_constant : float;
+  phase_factor : int;
+  reelection : reelection_policy;
+  target : [ `Strong | `Loose of int ];
+}
+
+let paper_params =
+  {
+    election_constant = 256.;
+    phase_factor = 3;
+    reelection = On_demand;
+    target = `Strong;
+  }
+
+let experiment_params =
+  {
+    election_constant = 3.;
+    phase_factor = 3;
+    reelection = On_demand;
+    target = `Strong;
+  }
+
+let target_size params ~n =
+  match params.target with
+  | `Strong -> n
+  | `Loose m ->
+      if m < n then invalid_arg "Crash_renaming: loose target below n";
+      m
+
+let phases params ~n =
+  let m = target_size params ~n in
+  if m <= 1 then 0 else params.phase_factor * Ilog.ceil_log2 m
+
+let election_probability params ~n ~p =
+  if n <= 1 then 1.
+  else
+    let log_n = log (float_of_int n) /. log 2. in
+    Float.min 1.
+      (params.election_constant *. (2. ** float_of_int p) *. log_n
+      /. float_of_int n)
+
+(* Per-node mutable state: exactly the variables of Figure 1. *)
+type state = {
+  mutable iv : Interval.t;
+  mutable dv : int;
+  mutable pv : int;
+  mutable elected : bool;
+}
+
+type status = { s_src : int; s_id : int; s_iv : Interval.t; s_d : int; s_p : int }
+
+let statuses_of_inbox inbox =
+  List.filter_map
+    (fun (e : Net.envelope) ->
+      match e.msg with
+      | Msg.Status { id; iv; d; p } ->
+          Some { s_src = e.src; s_id = id; s_iv = iv; s_d = d; s_p = p }
+      | Msg.Notify | Msg.Response _ -> None)
+    inbox
+
+(* Figure 2: the verdicts a committee member sends back, one per status
+   received. Halving only touches reporters at the minimum depth; for
+   those, the member counts how many reporters already chose sub-intervals
+   of [bot I_w] (the set B) and the rank of [ID(w)] among reporters sharing
+   [I_w] exactly: if the two fit inside [bot I_w], w descends left,
+   otherwise right. This rule keeps the "at most |I| nodes inside any
+   interval I" invariant (Lemma 2.3) even when different members answer
+   from different views. *)
+let committee_action st statuses =
+  match statuses with
+  | [] -> []
+  | _ ->
+      let d_min =
+        List.fold_left (fun acc s -> min acc s.s_d) max_int statuses
+      in
+      List.map
+        (fun w ->
+          let verdict =
+            if w.s_d <> d_min then
+              Msg.Response { id = w.s_id; iv = w.s_iv; d = w.s_d; p = st.pv }
+            else if Interval.is_singleton w.s_iv then
+              (* A decided node: nothing left to halve; bump its depth so
+                 it stops defining the minimum. *)
+              Msg.Response
+                { id = w.s_id; iv = w.s_iv; d = w.s_d + 1; p = st.pv }
+            else
+              let same_interval =
+                List.filter (fun u -> Interval.equal u.s_iv w.s_iv) statuses
+              in
+              let rank =
+                List.length
+                  (List.filter (fun u -> u.s_id <= w.s_id) same_interval)
+              in
+              let bot = Interval.bot w.s_iv in
+              let b_count =
+                List.length
+                  (List.filter (fun u -> Interval.subset u.s_iv bot) statuses)
+              in
+              if b_count + rank <= Interval.size bot then
+                Msg.Response { id = w.s_id; iv = bot; d = w.s_d + 1; p = st.pv }
+              else
+                Msg.Response
+                  {
+                    id = w.s_id;
+                    iv = Interval.top w.s_iv;
+                    d = w.s_d + 1;
+                    p = st.pv;
+                  }
+          in
+          (w.s_src, verdict))
+        statuses
+
+(* Figure 3: adopt the deepest (then leftmost) committee verdict; on
+   committee silence, escalate p and maybe self-elect. *)
+let node_action params ~n rng st inbox =
+  let responses =
+    List.filter_map
+      (fun (e : Net.envelope) ->
+        match e.msg with
+        | Msg.Response { id; iv; d; p } -> Some (id, iv, d, p)
+        | Msg.Notify | Msg.Status _ -> None)
+      inbox
+  in
+  let self_elect () =
+    if not st.elected then
+      st.elected <-
+        Rng.bernoulli rng (election_probability params ~n ~p:st.pv)
+  in
+  match responses with
+  | [] ->
+      st.pv <- st.pv + 1;
+      self_elect ()
+  | _ ->
+      let sorted =
+        List.sort
+          (fun (_, iv1, d1, _) (_, iv2, d2, _) ->
+            match Int.compare d2 d1 with
+            | 0 -> Int.compare iv1.Interval.lo iv2.Interval.lo
+            | c -> c)
+          responses
+      in
+      let _, iv1, d1, _ = List.hd sorted in
+      if not (Interval.is_singleton st.iv) then begin
+        st.dv <- d1;
+        st.iv <- iv1
+      end;
+      let p_hat =
+        List.fold_left (fun acc (_, _, _, p) -> max acc p) min_int responses
+      in
+      if p_hat > st.pv then begin
+        st.pv <- p_hat;
+        self_elect ()
+      end
+
+type telemetry = {
+  on_phase_end :
+    phase:int ->
+    id:int ->
+    iv:Interval.t ->
+    d:int ->
+    p:int ->
+    elected:bool ->
+    unit;
+}
+
+let program ?telemetry params ctx =
+  let n = Net.n ctx in
+  let rng = Net.rng ctx in
+  let st =
+    { iv = Interval.full (target_size params ~n); dv = 0; pv = 0;
+      elected = false }
+  in
+  st.elected <- Rng.bernoulli rng (election_probability params ~n ~p:0);
+  for phase = 1 to phases params ~n do
+    (* Round 1: committee announcement. *)
+    let inbox1 =
+      if st.elected then Net.broadcast ctx Msg.Notify else Net.skip_round ctx
+    in
+    let committee =
+      List.filter_map
+        (fun (e : Net.envelope) ->
+          match e.msg with
+          | Msg.Notify -> Some e.src
+          | Msg.Status _ | Msg.Response _ -> None)
+        inbox1
+    in
+    (* Round 2: report status to every announced committee member. *)
+    let my_status =
+      Msg.Status { id = Net.my_id ctx; iv = st.iv; d = st.dv; p = st.pv }
+    in
+    let inbox2 = Net.exchange ctx (List.map (fun c -> (c, my_status)) committee) in
+    let statuses = if st.elected then statuses_of_inbox inbox2 else [] in
+    if st.elected then begin
+      match statuses with
+      | [] -> ()
+      | _ -> st.pv <- List.fold_left (fun acc s -> max acc s.s_p) st.pv statuses
+    end;
+    (* Round 3: committee verdicts out, node reaction in. *)
+    let out3 = if st.elected then committee_action st statuses else [] in
+    let inbox3 = Net.exchange ctx out3 in
+    node_action params ~n rng st inbox3;
+    (* Ablation: the paper re-elects only after committee silence or a p
+       bump; the [Every_phase] policy lets every node retry each phase,
+       inflating the committee over time (measured in bench E9). *)
+    (match params.reelection with
+    | On_demand -> ()
+    | Every_phase ->
+        if not st.elected then
+          st.elected <-
+            Rng.bernoulli rng (election_probability params ~n ~p:st.pv));
+    Option.iter
+      (fun t ->
+        t.on_phase_end ~phase ~id:(Net.my_id ctx) ~iv:st.iv ~d:st.dv ~p:st.pv
+          ~elected:st.elected)
+      telemetry
+  done;
+  (* Theorem 1.2: after 3·⌈log n⌉ phases every surviving node's interval
+     is a singleton — its new identity. *)
+  assert (Interval.is_singleton st.iv);
+  Interval.point st.iv
+
+let run ?(params = experiment_params) ?telemetry ?crash ?seed ~ids () =
+  Net.run ~ids ?crash ?seed ~program:(program ?telemetry params) ()

@@ -1,0 +1,99 @@
+(** The crash-resilient strong renaming algorithm (paper Section 2,
+    Theorem 1.2; pseudocode Appendix A, Figures 1–3).
+
+    Every node keeps an interval [I_v ⊆ [1, n]] (its candidate range of
+    new identities), a depth [d_v] in the interval-halving tree, and an
+    escalation counter [p_v]. Execution is [3·⌈log n⌉] phases of 3 rounds:
+
+    + committee members announce themselves to everyone;
+    + every node reports [⟨ID, I_v, d_v, p_v⟩] to the announced committee;
+    + committee members halve the intervals of minimum depth — ranking
+      reporters by identity inside each interval — and reply; nodes adopt
+      the best response. A node that receives {e no} response concludes
+      the whole committee crashed, increments [p_v] and self-elects with
+      probability [(c · 2^{p_v} · log n) / n], which doubles the expected
+      replacement committee size after every wipe-out and makes the
+      message complexity scale with the adversary's actual crash count.
+
+    Guarantees (Theorem 1.2): always correct, always [O(log n)] rounds,
+    [O((f + log n)·n log n)] messages w.h.p., each of [O(log N)] bits. *)
+
+module Msg : sig
+  type t =
+    | Notify  (** committee-membership announcement (round 1) *)
+    | Status of { id : int; iv : Repro_util.Interval.t; d : int; p : int }
+        (** node report (round 2) *)
+    | Response of { id : int; iv : Repro_util.Interval.t; d : int; p : int }
+        (** committee verdict (round 3) *)
+
+  val bits : t -> int
+  (** Exact encoded size: tested equal to [snd (encode m)]. *)
+
+  val encode : t -> string * int
+  (** Wire bytes (zero-padded) and the exact bit length. *)
+
+  val decode : string -> t option
+  val pp : Format.formatter -> t -> unit
+end
+
+module Net : module type of Repro_sim.Engine.Make (Msg)
+
+type reelection_policy =
+  | On_demand
+      (** the paper's rule: self-elect only after committee silence or
+          upon learning a larger [p] *)
+  | Every_phase
+      (** ablation: additionally retry the election coin every phase —
+          the committee (and message bill) grows monotonically *)
+
+type params = {
+  election_constant : float;
+      (** the paper's 256 in [(256 · 2^p · log n) / n]; the asymptotic
+          value saturates the probability at 1 for any practical [n], so
+          experiments use a small constant with identical logic *)
+  phase_factor : int;  (** the paper's 3 in [3·⌈log n⌉] phases *)
+  reelection : reelection_policy;
+  target : [ `Strong | `Loose of int ];
+      (** [`Strong] renames into [\[1, n\]] (the paper's setting);
+          [`Loose m] with [m >= n] renames into [\[1, m\]] — Definition
+          1.1's general target namespace, obtained by rooting the halving
+          tree at [\[1, m\]] *)
+}
+
+val paper_params : params
+(** [{election_constant = 256.; phase_factor = 3; reelection = On_demand}] *)
+
+val experiment_params : params
+(** [{election_constant = 3.; phase_factor = 3; reelection = On_demand}] —
+    small committees at benchmark scale; used by the evaluation harness. *)
+
+val phases : params -> n:int -> int
+val election_probability : params -> n:int -> p:int -> float
+
+type telemetry = {
+  on_phase_end :
+    phase:int ->
+    id:int ->
+    iv:Repro_util.Interval.t ->
+    d:int ->
+    p:int ->
+    elected:bool ->
+    unit;
+}
+(** Per-node observation hook, invoked at the end of every phase with the
+    node's post-phase state. Used by the lemma-level test suites
+    (Lemmas 2.2/2.3/2.5) and the tracing example; all nodes run in one
+    process, so the hook may aggregate across nodes. *)
+
+val program : ?telemetry:telemetry -> params -> Net.ctx -> int
+(** The per-node program; returns the node's new identity in [[1, n]].
+    Run it through {!Net.run} or the {!run} convenience wrapper. *)
+
+val run :
+  ?params:params ->
+  ?telemetry:telemetry ->
+  ?crash:Net.crash_adversary ->
+  ?seed:int ->
+  ids:int array ->
+  unit ->
+  int Repro_sim.Engine.run_result

@@ -1,0 +1,81 @@
+(** Shared machinery for the evaluation harness (bench/) and the examples:
+    workload generation, one-call protocol execution keyed by variant, and
+    plain-text table rendering for the regenerated tables and figures. *)
+
+val random_ids : seed:int -> namespace:int -> n:int -> int array
+(** [n] distinct identities drawn uniformly from [\[1, namespace\]] —
+    the sparse-namespace workload every experiment uses. *)
+
+(** Which algorithm to run on a crash-failure workload. *)
+type crash_protocol =
+  | This_work_crash  (** Section 2 committee algorithm *)
+  | Halving_baseline  (** all-to-all interval halving (Table 1 baselines) *)
+  | Flooding_baseline  (** full-information flooding (Table 1 baselines) *)
+
+(** Which algorithm to run on a Byzantine workload. *)
+type byz_protocol =
+  | This_work_byz  (** Section 3 committee algorithm *)
+  | Everyone_byz  (** same consensus core, committee = all nodes *)
+
+type crash_adversary =
+  | No_crash
+  | Random_crashes of int  (** f random victims, mid-send allowed *)
+  | Committee_killer of int  (** adaptive: kill announcers, budget f *)
+  | Committee_killer_partial of int  (** same, with mid-send splits *)
+  | Patient_killer of int
+      (** message-maximising: kill each committee after one served phase *)
+
+type byz_adversary =
+  | No_byz
+  | Silent_byz of int
+  | Noise_byz of int
+  | Split_world_byz of int
+
+val crash_protocol_name : crash_protocol -> string
+val byz_protocol_name : byz_protocol -> string
+val crash_adversary_f : crash_adversary -> int
+val byz_adversary_f : byz_adversary -> int
+
+val run_crash :
+  protocol:crash_protocol ->
+  n:int ->
+  namespace:int ->
+  adversary:crash_adversary ->
+  seed:int ->
+  unit ->
+  Runner.assessment
+(** One execution. The flooding baseline is given the adversary's true
+    [f] (it runs [f+1] rounds) — the most favourable configuration for
+    the baseline. *)
+
+val run_byz :
+  protocol:byz_protocol ->
+  n:int ->
+  namespace:int ->
+  adversary:byz_adversary ->
+  ?pool_probability:float ->
+  ?reconcile:Byzantine_renaming.reconcile_mode ->
+  ?consensus:Byzantine_renaming.consensus_mode ->
+  seed:int ->
+  unit ->
+  Runner.assessment
+(** One execution; [pool_probability] defaults to [min 1 (4·log₂ n / n)],
+    giving Θ(log n) expected committee members among the nodes;
+    [reconcile] defaults to the paper's fingerprint divide-and-conquer. *)
+
+val committee_pool_probability : n:int -> float
+
+(** {1 Reporting} *)
+
+val print_table :
+  title:string -> header:string list -> rows:string list list -> unit
+(** Render an aligned plain-text table on stdout. When the environment
+    variable [RENAMING_CSV_DIR] is set, the table is additionally written
+    there as [<slug>.csv] (slug derived from the title up to the first
+    dash/colon) for plotting. *)
+
+val averaged :
+  trials:int -> seed:int -> (seed:int -> Runner.assessment) ->
+  Runner.assessment * float * float * float
+(** Run [trials] seeds; return the last assessment plus the mean rounds,
+    messages and bits across trials. Raises if any trial is incorrect. *)

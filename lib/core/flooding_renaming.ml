@@ -1,0 +1,81 @@
+module Ilog = Repro_util.Ilog
+
+module Msg = struct
+  type t = Known of int list
+  (** Invariant: the identity list is sorted ascending (the codec
+      delta-encodes consecutive gaps). *)
+
+  module W = Repro_sim.Wire
+
+  (* A set message carries one gamma-coded gap per element: still the
+     Ω(n log N)-bit large-message cost of the flooding baselines in
+     Table 1 (identities are spread over [N], so gaps average N/n). *)
+  let bits (Known ids) =
+    let _, total =
+      List.fold_left
+        (fun (prev, acc) id -> (id, acc + W.gamma_bits (id - prev)))
+        (0, W.gamma_bits (List.length ids))
+        ids
+    in
+    total
+
+  let encode (Known ids) =
+    let w = W.Writer.create () in
+    W.Writer.add_gamma w (List.length ids);
+    ignore
+      (List.fold_left
+         (fun prev id ->
+           W.Writer.add_gamma w (id - prev);
+           id)
+         0 ids);
+    (W.Writer.contents w, W.Writer.bit_length w)
+
+  let decode s =
+    match
+      let r = W.Reader.of_string s in
+      let k = W.Reader.read_gamma r in
+      let rec go i prev acc =
+        if i = k then List.rev acc
+        else
+          let id = prev + W.Reader.read_gamma r in
+          go (i + 1) id (id :: acc)
+      in
+      go 0 0 []
+    with
+    | ids -> Some (Known ids)
+    | exception Invalid_argument _ -> None
+
+  let pp ppf (Known ids) =
+    Format.fprintf ppf "known{%d ids}" (List.length ids)
+end
+
+module Net = Repro_sim.Engine.Make (Msg)
+
+type params = { rounds : [ `Tolerate of int | `Fixed of int ] }
+
+let default_params = { rounds = `Tolerate max_int }
+
+let rounds_of params ~n =
+  match params.rounds with
+  | `Fixed r -> max 1 r
+  | `Tolerate f -> min n (f + 1)
+
+module Iset = Set.Make (Int)
+
+let program params ctx =
+  let n = Net.n ctx in
+  let known = ref (Iset.singleton (Net.my_id ctx)) in
+  for _ = 1 to rounds_of params ~n do
+    let inbox = Net.broadcast ctx (Msg.Known (Iset.elements !known)) in
+    List.iter
+      (fun (e : Net.envelope) ->
+        let (Msg.Known ids) = e.msg in
+        known := Iset.union !known (Iset.of_list ids))
+      inbox
+  done;
+  (* New identity: rank of the node's own identity in the common set. *)
+  let rank = Iset.cardinal (Iset.filter (fun i -> i <= Net.my_id ctx) !known) in
+  rank
+
+let run ?(params = default_params) ?crash ?seed ~ids () =
+  Net.run ~ids ?crash ?seed ~program:(program params) ()

@@ -1,0 +1,29 @@
+(** Post-run assessment of a renaming execution: checks exactly the
+    properties Definition 1.1 and the theorems promise — uniqueness,
+    strongness (target namespace [\[n\]] where [n] counts all activated
+    nodes, failed ones included), and order preservation — plus headline
+    metrics, in a protocol-independent shape used by tests, examples and
+    the benchmark harness. *)
+
+type assessment = {
+  n : int;  (** number of activated nodes (crashed/Byzantine included) *)
+  assignments : (int * int) list;
+      (** (original, new) for nodes that decided, sorted by original *)
+  decided : int;
+  crashed : int;
+  byzantine : int;
+  unfinished : int;
+  unique : bool;  (** no two decided nodes share a new identity *)
+  strong : bool;  (** every new identity lies in [\[1, n\]] *)
+  order_preserving : bool;
+      (** original order = new order among decided nodes *)
+  correct : bool;  (** unique && strong && no node unfinished *)
+  rounds : int;
+  messages : int;
+  bits : int;
+  crash_cost : int;  (** crashes the adversary actually spent *)
+}
+
+val assess : int Repro_sim.Engine.run_result -> assessment
+
+val pp : Format.formatter -> assessment -> unit

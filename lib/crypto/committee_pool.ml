@@ -1,0 +1,42 @@
+type t = {
+  namespace : int;
+  p0 : float;
+  members : int list;
+  member_set : (int, unit) Hashtbl.t;
+  king_order : int list;
+}
+
+let create ~seed ~namespace ~p0 =
+  if namespace <= 0 then invalid_arg "Committee_pool.create: namespace";
+  let rng = Repro_util.Rng.of_seed (seed lxor 0x0c0_ffee) in
+  let members = ref [] in
+  for id = namespace downto 1 do
+    if Repro_util.Rng.bernoulli rng p0 then members := id :: !members
+  done;
+  let members = !members in
+  let member_set = Hashtbl.create (2 * List.length members) in
+  List.iter (fun id -> Hashtbl.replace member_set id ()) members;
+  let arr = Array.of_list members in
+  let shuffle_rng = Repro_util.Rng.of_seed (seed lxor 0x516e_0b1e) in
+  Repro_util.Rng.shuffle shuffle_rng arr;
+  { namespace; p0; members; member_set; king_order = Array.to_list arr }
+
+let namespace t = t.namespace
+let p0 t = t.p0
+let members t = t.members
+let size t = List.length t.members
+let mem t id = Hashtbl.mem t.member_set id
+let king_order t = t.king_order
+let fault_threshold t = (size t - 1) / 3
+
+let paper_p0 ~n ~epsilon0 =
+  if n <= 1 then 1.
+  else if epsilon0 <= 0. || epsilon0 >= 1. /. 3. then
+    invalid_arg "Committee_pool.paper_p0: epsilon0 must be in (0, 1/3)"
+  else
+    let log_n = log (float_of_int n) /. log 2. in
+    let raw =
+      8. *. log_n
+      /. ((1. -. (3. *. epsilon0)) *. epsilon0 *. epsilon0 *. float_of_int n)
+    in
+    Float.min 1. (Float.max 0. raw)

@@ -1,0 +1,45 @@
+let p = (1 lsl 31) - 1
+
+type key = { x1 : int; x2 : int }
+type t = { v1 : int; v2 : int }
+
+let key_of_seed seed =
+  let rng = Repro_util.Rng.of_seed (seed lxor 0x5eed_f00d) in
+  (* Evaluation points in [2, p-2]: excludes the degenerate 0, 1 and p-1
+     points. *)
+  let draw () = 2 + Repro_util.Rng.int rng (p - 4) in
+  { x1 = draw (); x2 = draw () }
+
+(* Horner evaluation, low-degree coefficient first: processing bits in
+   increasing position while multiplying the accumulator would reverse
+   the polynomial, so we instead maintain [acc + b_i * x^i] with a running
+   power. All operands are < 2^31 so products fit in OCaml's 63-bit
+   native ints. *)
+let eval x bits_fold =
+  let acc, _pow =
+    bits_fold
+      ~init:(0, 1)
+      ~f:(fun (acc, pow) b ->
+        let acc = if b then (acc + pow) mod p else acc in
+        (acc, pow * x mod p))
+  in
+  acc
+
+let of_fold fold key =
+  { v1 = eval key.x1 fold; v2 = eval key.x2 fold }
+
+let of_bits key bits =
+  of_fold (fun ~init ~f -> List.fold_left f init bits) key
+
+let of_segment key bv seg =
+  of_fold (fun ~init ~f -> Repro_util.Bitvec.fold_segment bv seg ~init ~f) key
+
+let equal a b = a.v1 = b.v1 && a.v2 = b.v2
+
+let compare a b =
+  match Int.compare a.v1 b.v1 with 0 -> Int.compare a.v2 b.v2 | c -> c
+
+let bits _ = 62
+let to_int_pair t = (t.v1, t.v2)
+let of_raw v1 v2 = { v1 = v1 mod p; v2 = v2 mod p }
+let pp ppf t = Format.fprintf ppf "fp(%x,%x)" t.v1 t.v2

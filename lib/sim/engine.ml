@@ -1,0 +1,373 @@
+type 'r node_outcome =
+  | Decided of 'r
+  | Crashed of int
+  | Byzantine
+  | Unfinished
+
+type 'r run_result = {
+  outcomes : (int * 'r node_outcome) list;
+  metrics : Metrics.t;
+}
+
+exception Max_rounds_exceeded of int
+
+module type MSG = sig
+  type t
+
+  val bits : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : MSG) = struct
+  type envelope = { src : int; dst : int; msg : M.t }
+
+  type ctx = {
+    id : int;
+    ids : int array;
+    node_rng : Repro_util.Rng.t;
+    current_round : int ref;
+  }
+
+  let my_id ctx = ctx.id
+  let n ctx = Array.length ctx.ids
+  let all_ids ctx = ctx.ids
+  let round ctx = !(ctx.current_round)
+  let rng ctx = ctx.node_rng
+
+  type _ Effect.t += Exchange : (int * M.t) list -> envelope list Effect.t
+
+  let exchange _ctx outbox = Effect.perform (Exchange outbox)
+
+  let broadcast ctx m =
+    exchange ctx (Array.to_list (Array.map (fun dst -> (dst, m)) ctx.ids))
+
+  let skip_round _ctx = Effect.perform (Exchange [])
+
+  type observation = {
+    obs_round : int;
+    obs_alive : int list;
+    obs_outboxes : (int * envelope list) list;
+    obs_crashed : int list;
+  }
+
+  type crash_order = { victim : int; delivered : envelope -> bool }
+  type crash_adversary = observation -> crash_order list
+
+  type byz_strategy =
+    byz_id:int -> round:int -> inbox:envelope list -> (int * M.t) list
+
+  (* A fiber is either finished with the program's result or suspended at
+     a round barrier holding its outbox and the continuation expecting
+     its inbox. *)
+  type 'r step =
+    | Done of 'r
+    | Yield of (int * M.t) list * (envelope list, 'r step) Effect.Deep.continuation
+
+  let start_fiber program ctx : 'r step =
+    Effect.Deep.match_with
+      (fun () -> Done (program ctx))
+      ()
+      {
+        retc = Fun.id;
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Exchange outbox ->
+                Some
+                  (fun (k : (a, _) Effect.Deep.continuation) ->
+                    Yield (outbox, k))
+            | _ -> None);
+      }
+
+  (* Per-node runtime state, keyed by identity. *)
+  type 'r node_state =
+    | Running of 'r step
+    | Finished of 'r
+    | Dead of int
+    | Byz_node
+
+  let run ~ids ?byz ?(crash = fun _ -> []) ?(max_rounds = 100_000) ?(seed = 1)
+      ~program () =
+    let n = Array.length ids in
+    let module Iset = Set.Make (Int) in
+    if Iset.cardinal (Iset.of_list (Array.to_list ids)) <> n then
+      invalid_arg "Engine.run: duplicate identities";
+    let byz_ids, byz_strategy =
+      match byz with
+      | None -> (Iset.empty, fun ~byz_id:_ ~round:_ ~inbox:_ -> [])
+      | Some (bs, strat) ->
+          List.iter
+            (fun b ->
+              if not (Array.exists (fun i -> i = b) ids) then
+                invalid_arg "Engine.run: byzantine id not a participant")
+            bs;
+          (Iset.of_list bs, strat)
+    in
+    let metrics = Metrics.create () in
+    let master_rng = Repro_util.Rng.of_seed seed in
+    let current_round = ref 0 in
+    let states : (int, 'r node_state) Hashtbl.t = Hashtbl.create (2 * n) in
+    let byz_inboxes : (int, envelope list) Hashtbl.t = Hashtbl.create 8 in
+    (* Start every honest fiber; each runs up to its first round barrier.
+       Identities are processed in array order for determinism. *)
+    Array.iter
+      (fun id ->
+        if Iset.mem id byz_ids then Hashtbl.replace states id Byz_node
+        else
+          let ctx =
+            { id; ids; node_rng = Repro_util.Rng.split master_rng; current_round }
+          in
+          let state =
+            match start_fiber program ctx with
+            | Done r -> Finished r
+            | step -> Running step
+          in
+          Hashtbl.replace states id state)
+      ids;
+    let alive_running () =
+      Array.to_list ids
+      |> List.filter (fun id ->
+             match Hashtbl.find states id with
+             | Running _ -> true
+             | Finished _ | Dead _ | Byz_node -> false)
+    in
+    let crashed_list () =
+      Array.to_list ids
+      |> List.filter (fun id ->
+             match Hashtbl.find states id with Dead _ -> true | _ -> false)
+    in
+    let rec loop () =
+      let running = alive_running () in
+      if running = [] then ()
+      else if !current_round >= max_rounds then
+        raise (Max_rounds_exceeded max_rounds)
+      else begin
+        let round_no = !current_round in
+        (* 1. Collect the round's honest outboxes. *)
+        let outboxes =
+          List.filter_map
+            (fun id ->
+              match Hashtbl.find states id with
+              | Running (Yield (out, _)) ->
+                  Some
+                    (id, List.map (fun (dst, msg) -> { src = id; dst; msg }) out)
+              | Running (Done _) | Finished _ | Dead _ | Byz_node -> None)
+            (Array.to_list ids)
+        in
+        (* 2. Byzantine traffic for this round. *)
+        let byz_envs =
+          Iset.fold
+            (fun b acc ->
+              let inbox =
+                Option.value ~default:[] (Hashtbl.find_opt byz_inboxes b)
+              in
+              let out = byz_strategy ~byz_id:b ~round:round_no ~inbox in
+              List.fold_left
+                (fun acc (dst, msg) ->
+                  Metrics.add_byz metrics ~bits:(M.bits msg);
+                  { src = b; dst; msg } :: acc)
+                acc out)
+            byz_ids []
+          |> List.rev
+        in
+        (* 3. Let the crash adversary act on what it can observe. *)
+        let observation =
+          {
+            obs_round = round_no;
+            obs_alive = running;
+            obs_outboxes = outboxes;
+            obs_crashed = crashed_list ();
+          }
+        in
+        let orders = crash observation in
+        let filter_of =
+          List.fold_left
+            (fun acc { victim; delivered } ->
+              match Hashtbl.find_opt states victim with
+              | Some (Running _) | Some (Finished _) ->
+                  if List.mem_assoc victim acc then acc
+                  else (victim, delivered) :: acc
+              | _ -> acc)
+            [] orders
+        in
+        List.iter
+          (fun (victim, _) ->
+            Hashtbl.replace states victim (Dead round_no);
+            Metrics.record_crash metrics)
+          filter_of;
+        (* 4. Transmit: full outbox for survivors, the adversary-chosen
+           subset for nodes crashed mid-send. *)
+        let honest_envs =
+          List.concat_map
+            (fun (src, envs) ->
+              let envs =
+                match List.assoc_opt src filter_of with
+                | None -> envs
+                | Some keep -> List.filter keep envs
+              in
+              List.iter
+                (fun e -> Metrics.add_honest metrics ~bits:(M.bits e.msg))
+                envs;
+              envs)
+            outboxes
+        in
+        let all_envs = honest_envs @ byz_envs in
+        (* 5. Build inboxes, sorted by source for determinism. *)
+        let inbox_tbl : (int, envelope list) Hashtbl.t = Hashtbl.create (2 * n) in
+        List.iter
+          (fun e ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt inbox_tbl e.dst) in
+            Hashtbl.replace inbox_tbl e.dst (e :: prev))
+          all_envs;
+        let inbox_of id =
+          Option.value ~default:[] (Hashtbl.find_opt inbox_tbl id)
+          |> List.sort (fun a b -> Int.compare a.src b.src)
+        in
+        Iset.iter (fun b -> Hashtbl.replace byz_inboxes b (inbox_of b)) byz_ids;
+        Metrics.end_round metrics;
+        incr current_round;
+        (* 6. Resume survivors with their inboxes; each runs to its next
+           barrier (or completion). *)
+        Array.iter
+          (fun id ->
+            match Hashtbl.find states id with
+            | Running (Yield (_, k)) ->
+                let next = Effect.Deep.continue k (inbox_of id) in
+                Hashtbl.replace states id
+                  (match next with Done r -> Finished r | step -> Running step)
+            | Running (Done r) -> Hashtbl.replace states id (Finished r)
+            | Finished _ | Dead _ | Byz_node -> ())
+          ids;
+        loop ()
+      end
+    in
+    loop ();
+    let outcomes =
+      Array.to_list ids
+      |> List.map (fun id ->
+             match Hashtbl.find states id with
+             | Finished r -> (id, Decided r)
+             | Dead r -> (id, Crashed r)
+             | Byz_node -> (id, Byzantine)
+             | Running _ -> (id, Unfinished))
+    in
+    { outcomes; metrics }
+
+  module Crash = struct
+    let none : crash_adversary = fun _ -> []
+
+    let deliver_all _ = true
+
+    let targeted schedule : crash_adversary =
+     fun obs ->
+      List.filter_map
+        (fun (round, victim) ->
+          if round = obs.obs_round then Some { victim; delivered = deliver_all }
+          else None)
+        schedule
+
+    let random ~rng ~f ?(horizon = 64) ?(mid_send_prob = 0.5) () :
+        crash_adversary =
+      (* Pre-draw f crash rounds uniformly over the horizon; victims are
+         picked adaptively among still-alive nodes when each round
+         arrives. *)
+      let schedule = Array.make (max horizon 1) 0 in
+      for _ = 1 to f do
+        let r = Repro_util.Rng.int rng (max horizon 1) in
+        schedule.(r) <- schedule.(r) + 1
+      done;
+      fun obs ->
+        let due =
+          if obs.obs_round < Array.length schedule then
+            schedule.(obs.obs_round)
+          else 0
+        in
+        if due = 0 then []
+        else
+          let victims =
+            Repro_util.Rng.sample_without_replacement rng due
+              (Array.of_list obs.obs_alive)
+          in
+          Array.to_list victims
+          |> List.map (fun victim ->
+                 let delivered =
+                   if Repro_util.Rng.bernoulli rng mid_send_prob then fun _ ->
+                     Repro_util.Rng.bool rng
+                   else deliver_all
+                 in
+                 { victim; delivered })
+
+    let patient_killer ~budget () : crash_adversary =
+      (* The message-maximising play: let every committee generation serve
+         one full phase (so its traffic is paid), then kill each member at
+         its next announcement with nothing delivered — the survivors see
+         a silent committee, escalate p, and elect a bigger replacement.
+         Cost to Eve: one crash per member; cost to the algorithm: a full
+         phase of the escalated committee each time. *)
+      let remaining = ref budget in
+      let seen_announcing : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      fun obs ->
+        if !remaining <= 0 then []
+        else begin
+          let alive_count = List.length obs.obs_alive in
+          let broadcasters =
+            List.filter_map
+              (fun (src, envs) ->
+                if List.length envs >= alive_count && alive_count > 1 then
+                  Some src
+                else None)
+              obs.obs_outboxes
+          in
+          let victims =
+            List.filter (fun src -> Hashtbl.mem seen_announcing src)
+              broadcasters
+          in
+          List.iter
+            (fun src -> Hashtbl.replace seen_announcing src ())
+            broadcasters;
+          let victims = List.filteri (fun i _ -> i < !remaining) victims in
+          remaining := !remaining - List.length victims;
+          List.map
+            (fun victim -> { victim; delivered = (fun _ -> false) })
+            victims
+        end
+
+    let committee_killer ~rng ~budget ?(partial = false) () : crash_adversary =
+      (* Eve's strongest play against the crash-resilient algorithm: any
+         node that broadcasts to (almost) everyone has just revealed
+         itself as a committee member; kill it on the spot, up to the
+         crash budget. With [partial] the kill happens mid-send, so an
+         adversary-chosen subset of the announcement still lands,
+         splitting the survivors' views. *)
+      let remaining = ref budget in
+      fun obs ->
+        if !remaining <= 0 then []
+        else
+          let alive_count = List.length obs.obs_alive in
+          let broadcasters =
+            List.filter_map
+              (fun (src, envs) ->
+                if List.length envs >= alive_count && alive_count > 1 then
+                  Some src
+                else None)
+              obs.obs_outboxes
+          in
+          let victims =
+            if List.length broadcasters <= !remaining then broadcasters
+            else
+              Array.to_list
+                (Repro_util.Rng.sample_without_replacement rng !remaining
+                   (Array.of_list broadcasters))
+          in
+          remaining := !remaining - List.length victims;
+          List.map
+            (fun victim ->
+              let delivered =
+                if partial then fun _ -> Repro_util.Rng.bool rng
+                else deliver_all
+              in
+              { victim; delivered })
+            victims
+  end
+end

@@ -1,0 +1,179 @@
+(** Synchronous message-passing simulator.
+
+    This implements exactly the model of the paper: a fully connected
+    network of [n] nodes, each knowing its own unique identity from the
+    original namespace [\[N\]] and the value of [n]; all nodes start
+    simultaneously and proceed in lock-step rounds; a message sent in
+    round [r] is received at the end of round [r].
+
+    {2 Programming model}
+
+    Honest nodes are written in direct style as ordinary OCaml functions
+    over a context: calling {!Make.exchange} hands the node's outbox for
+    the current round to the network, blocks (via an effect) until the
+    round barrier, and returns the node's inbox. This keeps multi-phase
+    protocols — including ones that call sub-protocols such as consensus —
+    free of hand-written state machines.
+
+    {2 Failure model}
+
+    - {e Crash} failures are injected by an adaptive adversary ("Eve")
+      that observes each round's complete outbox map before delivery — the
+      same power as using "execution history up to any specific time
+      point" — and may kill a node mid-send, choosing which of its
+      current-round messages still get through.
+    - {e Byzantine} failures are a static set fixed before execution
+      ("Carlo"). Byzantine nodes do not run the honest program; a strategy
+      callback emits arbitrary messages for them each round. The engine
+      stamps every envelope with its true sender, which is the
+      message-authentication assumption (no identity spoofing).
+
+    {2 Addressing}
+
+    In the paper nodes communicate over anonymous links; replies go "back
+    through link [i]". We identify link and endpoint identity: envelopes
+    carry the (authenticated) source identity and nodes address
+    destinations by identity. For the algorithms simulated here the two
+    views are interchangeable — a reply by source identity is a reply by
+    link, and broadcasts enumerate all links. *)
+
+type 'r node_outcome =
+  | Decided of 'r
+  | Crashed of int  (** round at which the crash happened *)
+  | Byzantine
+  | Unfinished  (** engine stopped (max rounds) before the node returned *)
+
+type 'r run_result = {
+  outcomes : (int * 'r node_outcome) list;  (** one per identity *)
+  metrics : Metrics.t;
+}
+
+exception Max_rounds_exceeded of int
+
+module type MSG = sig
+  type t
+
+  val bits : t -> int
+  (** Size accounting for {!Metrics}; the paper's algorithms only use
+      [O(log N)]-bit messages and the sizes here make that concrete. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : MSG) : sig
+  type envelope = { src : int; dst : int; msg : M.t }
+
+  (** {1 Node-side API} *)
+
+  type ctx
+
+  val my_id : ctx -> int
+  val n : ctx -> int
+  val all_ids : ctx -> int array
+  (** The identities behind the node's [n] links (includes [my_id]). *)
+
+  val round : ctx -> int
+  (** Number of the round about to be exchanged (0-based). *)
+
+  val rng : ctx -> Repro_util.Rng.t
+  (** The node's private randomness, derived from the run seed. *)
+
+  val exchange : ctx -> (int * M.t) list -> envelope list
+  (** [exchange ctx outbox] sends each [(dst, msg)] in this round and
+      returns the messages addressed to this node in the same round,
+      sorted by source identity. Must only be called from inside a node
+      program run by {!run}. *)
+
+  val broadcast : ctx -> M.t -> envelope list
+  (** [broadcast ctx m] = [exchange] of [m] to every link (including the
+      node's own). *)
+
+  val skip_round : ctx -> envelope list
+  (** Send nothing this round, still observing the round barrier. *)
+
+  (** {1 Adversaries} *)
+
+  type observation = {
+    obs_round : int;
+    obs_alive : int list;  (** honest nodes not yet crashed or decided *)
+    obs_outboxes : (int * envelope list) list;
+        (** this round's honest traffic, before delivery *)
+    obs_crashed : int list;
+  }
+
+  type crash_order = {
+    victim : int;
+    delivered : envelope -> bool;
+        (** which of the victim's current-round messages still go out;
+            the mid-send crash of the model *)
+  }
+
+  type crash_adversary = observation -> crash_order list
+  (** Called once per round before delivery. Stateful strategies close
+      over their own state. Orders against already-dead nodes are
+      ignored. *)
+
+  type byz_strategy =
+    byz_id:int -> round:int -> inbox:envelope list -> (int * M.t) list
+  (** Per-round behaviour of one Byzantine node; the inbox is what the
+      network delivered to it last round. *)
+
+  (** {1 Running} *)
+
+  val run :
+    ids:int array ->
+    ?byz:int list * byz_strategy ->
+    ?crash:crash_adversary ->
+    ?max_rounds:int ->
+    ?seed:int ->
+    program:(ctx -> 'r) ->
+    unit ->
+    'r run_result
+  (** Runs one synchronous execution. [ids] are the distinct original
+      identities; every identity in [byz] must occur in [ids]. The run is
+      deterministic given ([ids], adversaries, [seed]).
+
+      @raise Max_rounds_exceeded if honest nodes are still running after
+      [max_rounds] (default 100_000) rounds — a deadlock guard.
+      @raise Invalid_argument on duplicate identities. *)
+
+  (** Canned crash adversaries. All are stateful: build a fresh one per
+      run. *)
+  module Crash : sig
+    val none : crash_adversary
+
+    val targeted : (int * int) list -> crash_adversary
+    (** [targeted \[(round, victim); ...\]] crashes each victim at the
+        given round (clean crash, full final-round delivery). *)
+
+    val random :
+      rng:Repro_util.Rng.t ->
+      f:int ->
+      ?horizon:int ->
+      ?mid_send_prob:float ->
+      unit ->
+      crash_adversary
+    (** [f] crashes at uniform rounds within [horizon]; victims chosen
+        among nodes still alive; with probability [mid_send_prob] a crash
+        is mid-send (random subset of the final outbox delivered). *)
+
+    val patient_killer : budget:int -> unit -> crash_adversary
+    (** The message-{e maximising} adaptive strategy: tolerate each
+        committee generation for one full phase, then crash every member
+        at its next announcement (delivering nothing). Every crash Eve
+        spends buys the algorithm a full phase of an escalated committee —
+        the worst case the O((f+log n)·n·log n) bound prices in. *)
+
+    val committee_killer :
+      rng:Repro_util.Rng.t ->
+      budget:int ->
+      ?partial:bool ->
+      unit ->
+      crash_adversary
+    (** The adaptive strategy the paper's Lemmas 2.4–2.7 reason about:
+        crash every node observed broadcasting to all alive nodes (i.e.
+        announcing committee membership), until the budget is spent.
+        [partial] makes the kills mid-send so different survivors see
+        different announcement subsets. *)
+  end
+end

@@ -1,0 +1,47 @@
+type t = {
+  mutable honest_messages : int;
+  mutable honest_bits : int;
+  mutable byz_messages : int;
+  mutable byz_bits : int;
+  mutable rounds : int;
+  mutable crashes : int;
+  mutable per_round_messages : int list;
+  mutable current_round_messages : int;
+}
+
+let create () =
+  {
+    honest_messages = 0;
+    honest_bits = 0;
+    byz_messages = 0;
+    byz_bits = 0;
+    rounds = 0;
+    crashes = 0;
+    per_round_messages = [];
+    current_round_messages = 0;
+  }
+
+let add_honest t ~bits =
+  t.honest_messages <- t.honest_messages + 1;
+  t.honest_bits <- t.honest_bits + bits;
+  t.current_round_messages <- t.current_round_messages + 1
+
+let add_byz t ~bits =
+  t.byz_messages <- t.byz_messages + 1;
+  t.byz_bits <- t.byz_bits + bits
+
+let end_round t =
+  t.per_round_messages <- t.current_round_messages :: t.per_round_messages;
+  t.current_round_messages <- 0;
+  t.rounds <- t.rounds + 1
+
+let record_crash t = t.crashes <- t.crashes + 1
+
+let messages_by_round t =
+  Array.of_list (List.rev t.per_round_messages)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "rounds=%d messages=%d bits=%d crashes=%d byz_messages=%d byz_bits=%d"
+    t.rounds t.honest_messages t.honest_bits t.crashes t.byz_messages
+    t.byz_bits

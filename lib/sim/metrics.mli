@@ -1,0 +1,34 @@
+(** Cost accounting for a simulated execution.
+
+    The engine counts every message at the moment it is handed to the
+    network, which is the quantity the paper's message-complexity theorems
+    bound ("messages sent"). A node crashed mid-send has only the
+    delivered prefix of its final outbox counted, matching the model in
+    which a crash may interrupt a send. Messages emitted by Byzantine
+    nodes are tracked separately: they are the adversary's expenditure,
+    not the algorithm's. *)
+
+type t = {
+  mutable honest_messages : int;
+  mutable honest_bits : int;
+  mutable byz_messages : int;
+  mutable byz_bits : int;
+  mutable rounds : int;  (** rounds actually executed *)
+  mutable crashes : int;  (** crash-adversary expenditure *)
+  mutable per_round_messages : int list;
+      (** completed rounds' honest message counts, most recent first *)
+  mutable current_round_messages : int;
+      (** honest messages in the round currently executing *)
+}
+
+val create : unit -> t
+val add_honest : t -> bits:int -> unit
+val add_byz : t -> bits:int -> unit
+val end_round : t -> unit
+(** Close the current round's per-round counter and bump [rounds]. *)
+
+val record_crash : t -> unit
+val messages_by_round : t -> int array
+(** Chronological per-round honest message counts. *)
+
+val pp : Format.formatter -> t -> unit

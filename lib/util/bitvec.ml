@@ -1,0 +1,125 @@
+type t = { len : int; data : Bytes.t }
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; data = Bytes.make ((len + 7) / 8) '\000' }
+
+let length t = t.len
+let copy t = { len = t.len; data = Bytes.copy t.data }
+
+let check t pos =
+  if pos < 1 || pos > t.len then invalid_arg "Bitvec: position out of range"
+
+let get t pos =
+  check t pos;
+  let i = pos - 1 in
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t pos v =
+  check t pos;
+  let i = pos - 1 in
+  let byte = Char.code (Bytes.get t.data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.data (i lsr 3) (Char.chr byte)
+
+let count t (seg : Interval.t) =
+  check t seg.lo;
+  check t seg.hi;
+  let acc = ref 0 in
+  for pos = seg.lo to seg.hi do
+    if get t pos then incr acc
+  done;
+  !acc
+
+let count_all t = if t.len = 0 then 0 else count t (Interval.full t.len)
+
+let rank t i =
+  check t i;
+  count t (Interval.make 1 i)
+
+let select t k =
+  if k <= 0 then None
+  else
+    let rec go pos seen =
+      if pos > t.len then None
+      else
+        let seen = if get t pos then seen + 1 else seen in
+        if seen = k then Some pos else go (pos + 1) seen
+    in
+    go 1 0
+
+let ones_in t (seg : Interval.t) =
+  check t seg.lo;
+  check t seg.hi;
+  let rec go pos acc =
+    if pos < seg.lo then acc
+    else go (pos - 1) (if get t pos then pos :: acc else acc)
+  in
+  go seg.hi []
+
+let equal_segment a b (seg : Interval.t) =
+  check a seg.lo;
+  check a seg.hi;
+  check b seg.lo;
+  check b seg.hi;
+  let rec go pos =
+    if pos > seg.hi then true
+    else if Bool.equal (get a pos) (get b pos) then go (pos + 1)
+    else false
+  in
+  go seg.lo
+
+let blit_segment ~src ~dst (seg : Interval.t) =
+  check src seg.lo;
+  check src seg.hi;
+  check dst seg.lo;
+  check dst seg.hi;
+  for pos = seg.lo to seg.hi do
+    set dst pos (get src pos)
+  done
+
+let fill_segment_with_ones t (seg : Interval.t) k =
+  if k < 0 || k > Interval.size seg then
+    invalid_arg "Bitvec.fill_segment_with_ones";
+  for pos = seg.lo to seg.hi do
+    set t pos (pos - seg.lo < k)
+  done
+
+let segment_bytes t (seg : Interval.t) =
+  check t seg.lo;
+  check t seg.hi;
+  let m = Interval.size seg in
+  let out = Bytes.make ((m + 7) / 8) '\000' in
+  for k = 0 to m - 1 do
+    if get t (seg.lo + k) then begin
+      let byte = Char.code (Bytes.get out (k lsr 3)) in
+      Bytes.set out (k lsr 3) (Char.chr (byte lor (1 lsl (k land 7))))
+    end
+  done;
+  Bytes.unsafe_to_string out
+
+let set_segment_bytes t (seg : Interval.t) s =
+  check t seg.lo;
+  check t seg.hi;
+  let m = Interval.size seg in
+  if 8 * String.length s < m then
+    invalid_arg "Bitvec.set_segment_bytes: string too short";
+  for k = 0 to m - 1 do
+    let b = Char.code s.[k lsr 3] land (1 lsl (k land 7)) <> 0 in
+    set t (seg.lo + k) b
+  done
+
+let fold_segment t (seg : Interval.t) ~init ~f =
+  check t seg.lo;
+  check t seg.hi;
+  let acc = ref init in
+  for pos = seg.lo to seg.hi do
+    acc := f !acc (get t pos)
+  done;
+  !acc
+
+let pp ppf t =
+  for pos = 1 to t.len do
+    Format.pp_print_char ppf (if get t pos then '1' else '0')
+  done

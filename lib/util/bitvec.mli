@@ -1,0 +1,61 @@
+(** Fixed-length bit vectors with segment operations.
+
+    The Byzantine-resilient algorithm's identity lists [L_v] are length-[N]
+    bit vectors indexed by original identities [1..N]; committee members
+    hash, count and patch {e segments} [L\[l..r\]] of them. Positions in
+    this module are therefore 1-based to match the paper. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the all-zeros vector of length [n]. *)
+
+val length : t -> int
+val copy : t -> t
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+(** Positions are 1-based; out-of-range access raises [Invalid_argument]. *)
+
+val count : t -> Interval.t -> int
+(** Number of ones within the segment. *)
+
+val count_all : t -> int
+
+val rank : t -> int -> int
+(** [rank t i] is the number of ones at positions [<= i]: the paper's new
+    identity of the node whose original identity is [i] (when
+    [get t i = true]). *)
+
+val select : t -> int -> int option
+(** [select t k] is the position of the [k]-th one (1-based), if any. *)
+
+val ones_in : t -> Interval.t -> int list
+(** Positions of ones within the segment, ascending. *)
+
+val equal_segment : t -> t -> Interval.t -> bool
+(** Do the two vectors agree on every position of the segment? *)
+
+val blit_segment : src:t -> dst:t -> Interval.t -> unit
+(** Overwrite [dst]'s segment with [src]'s. *)
+
+val fill_segment_with_ones : t -> Interval.t -> int -> unit
+(** [fill_segment_with_ones t seg k] replaces the segment with an arbitrary
+    pattern containing exactly [k] ones (the paper's dirty-interval
+    patch; we put them leftmost). @raise Invalid_argument if [k] exceeds
+    the segment size. *)
+
+val fold_segment : t -> Interval.t -> init:'a -> f:('a -> bool -> 'a) -> 'a
+(** Left fold over the segment's bits, low position first. Used to feed
+    segments into the fingerprint function. *)
+
+val segment_bytes : t -> Interval.t -> string
+(** The segment's bits packed into bytes (low position first,
+    LSB-first within each byte, zero-padded). Used by the ship-segments
+    reconciliation ablation, whose messages carry raw segments. *)
+
+val set_segment_bytes : t -> Interval.t -> string -> unit
+(** Inverse of {!segment_bytes}: overwrite the segment from packed bytes.
+    @raise Invalid_argument if the string is shorter than the segment
+    needs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+let floor_log2 n =
+  if n <= 0 then invalid_arg "Ilog.floor_log2";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n <= 0 then invalid_arg "Ilog.ceil_log2";
+  let f = floor_log2 n in
+  if 1 lsl f = n then f else f + 1
+
+let bit_width v =
+  if v < 0 then invalid_arg "Ilog.bit_width";
+  if v = 0 then 1 else floor_log2 v + 1
+
+let pow2 k =
+  if k < 0 || k >= 62 then invalid_arg "Ilog.pow2";
+  1 lsl k

@@ -1,0 +1,17 @@
+(** Integer logarithm helpers used throughout the complexity-aware code
+    paths (phase counts, message bit widths, parameter formulas). *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the largest [k] with [2^k <= n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [k] with [2^k >= n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val bit_width : int -> int
+(** [bit_width v] is the number of bits needed to write [v >= 0] in binary
+    ([bit_width 0 = 1]). Used for message-size accounting. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2^k] for [0 <= k < 62]. *)

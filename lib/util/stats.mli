@@ -1,0 +1,35 @@
+(** Small statistics toolkit for the experiment harness: summarising
+    repeated randomized runs and fitting the scaling exponents that the
+    paper's theorems predict. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val summarize_ints : int list -> summary
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], linear interpolation.
+    @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+
+val log_log_slope : (float * float) list -> float
+(** Least-squares slope of [log y] against [log x]: the empirical scaling
+    exponent of a measured quantity. Points with non-positive coordinates
+    are dropped. @raise Invalid_argument with fewer than two usable
+    points. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [(slope, intercept)] of the least-squares line.
+    @raise Invalid_argument with fewer than two points. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,167 @@
+(* Tests for the design-choice ablations DESIGN.md calls out:
+
+   - Ship_segments reconciliation: same correctness as the paper's
+     fingerprint divide-and-conquer, no dirty intervals (the agreement is
+     its own preimage), but segment-sized messages — the bit-complexity
+     gap the fingerprints exist to close.
+   - Every_phase re-election: same correctness as the paper's on-demand
+     rule, strictly more election attempts, hence a growing committee and
+     a larger message bill at f = 0. *)
+
+module BR = Repro_renaming.Byzantine_renaming
+module BS = Repro_renaming.Byz_strategies
+module CR = Repro_renaming.Crash_renaming
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+module Rng = Repro_util.Rng
+
+let run_byz_mode ~reconcile ~f ~strategy_kind ~seed =
+  let n = 24 in
+  let namespace = n * n in
+  let ids = E.random_ids ~seed ~namespace ~n in
+  let params =
+    {
+      (BR.default_params ~namespace ~shared_seed:(seed + 1)) with
+      pool_probability = `Fixed 0.6;
+      reconcile;
+    }
+  in
+  let byz_ids =
+    let rng = Rng.of_seed (seed lxor 0x6b2) in
+    Array.to_list (Rng.sample_without_replacement rng f ids)
+  in
+  let dirty_count = ref 0 in
+  let telemetry =
+    {
+      BR.on_view = (fun ~id:_ ~view:_ -> ());
+      on_reconciled =
+        (fun ~id:_ ~l:_ ~partition:_ ~dirty ->
+          dirty_count := !dirty_count + List.length dirty);
+    }
+  in
+  let strategy =
+    match strategy_kind with
+    | `Silent -> BS.silent
+    | `Split -> BS.split_world params ~rng:(Rng.of_seed (seed + 2)) ~ids
+  in
+  let byz = if f = 0 then None else Some (byz_ids, strategy) in
+  let res =
+    BR.run ~telemetry ~params ?byz ~max_rounds:400_000 ~seed ~ids ()
+  in
+  (Runner.assess res, !dirty_count)
+
+let test_ship_segments_correct () =
+  List.iter
+    (fun (f, kind) ->
+      let a, dirty =
+        run_byz_mode ~reconcile:BR.Ship_segments ~f ~strategy_kind:kind
+          ~seed:22
+      in
+      Alcotest.(check bool) "unique+strong+order" true
+        (a.unique && a.strong && a.order_preserving);
+      Alcotest.(check int) "ship-segments never marks dirty" 0 dirty)
+    [ (0, `Silent); (4, `Silent); (4, `Split) ]
+
+let test_ship_segments_bit_blowup () =
+  (* Clean runs: one iteration over the whole [1, N] list. Fingerprints
+     cost O(log N) bits per validator message; raw segments cost N bits. *)
+  let fp, _ =
+    run_byz_mode ~reconcile:BR.Fingerprint_dnc ~f:0 ~strategy_kind:`Silent
+      ~seed:9
+  in
+  let raw, _ =
+    run_byz_mode ~reconcile:BR.Ship_segments ~f:0 ~strategy_kind:`Silent
+      ~seed:9
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "raw bits %d >> fingerprint bits %d" raw.bits fp.bits)
+    true
+    (raw.bits > 3 * fp.bits);
+  Alcotest.(check bool) "same message count order" true
+    (raw.messages < 2 * fp.messages + 1000)
+
+let test_every_phase_reelection () =
+  let n = 64 in
+  let ids = E.random_ids ~seed:3 ~namespace:(50 * n) ~n in
+  let run reelection =
+    let params = { CR.experiment_params with reelection } in
+    Runner.assess (CR.run ~params ~ids ~seed:7 ())
+  in
+  let on_demand = run CR.On_demand in
+  let every_phase = run CR.Every_phase in
+  Alcotest.(check bool) "on-demand correct" true on_demand.correct;
+  Alcotest.(check bool) "every-phase correct" true every_phase.correct;
+  Alcotest.(check bool)
+    (Printf.sprintf "every-phase pays more: %d > %d" every_phase.messages
+       on_demand.messages)
+    true
+    (every_phase.messages > on_demand.messages)
+
+let test_every_phase_correct_under_killer () =
+  let n = 32 in
+  let ids = E.random_ids ~seed:4 ~namespace:(50 * n) ~n in
+  let params = { CR.experiment_params with reelection = CR.Every_phase } in
+  let crash =
+    CR.Net.Crash.committee_killer ~rng:(Rng.of_seed 5) ~budget:(n / 2)
+      ~partial:true ()
+  in
+  let a = Runner.assess (CR.run ~params ~ids ~crash ~seed:6 ()) in
+  Alcotest.(check bool) "correct" true a.correct
+
+let test_coin_consensus_mode () =
+  (* The whole Byzantine renaming pipeline with the shared-coin consensus
+     replacing phase-king inside the committee. *)
+  let n = 24 in
+  let namespace = n * n in
+  let ids = E.random_ids ~seed:61 ~namespace ~n in
+  let params =
+    {
+      (BR.default_params ~namespace ~shared_seed:62) with
+      pool_probability = `Fixed 0.6;
+      consensus = BR.Common_coin_consensus 20;
+    }
+  in
+  let byz_ids =
+    let rng = Rng.of_seed 63 in
+    Array.to_list (Rng.sample_without_replacement rng 4 ids)
+  in
+  let strategy = BS.split_world params ~rng:(Rng.of_seed 64) ~ids in
+  let a =
+    Runner.assess
+      (BR.run ~params ~ids ~seed:65 ~byz:(byz_ids, strategy)
+         ~max_rounds:400_000 ())
+  in
+  Alcotest.(check bool) "coin-consensus pipeline correct" true
+    (a.unique && a.strong && a.order_preserving);
+  Alcotest.(check int) "honest decide" (n - 4) a.decided
+
+let qcheck_ship_segments =
+  QCheck.Test.make ~name:"ship-segments: correct across seeds" ~count:15
+    (QCheck.make
+       ~print:(fun (f, seed) -> Printf.sprintf "f=%d seed=%d" f seed)
+       QCheck.Gen.(
+         let* f = int_range 0 4 in
+         let* seed = int_range 0 5_000 in
+         return (f, seed)))
+    (fun (f, seed) ->
+      let a, _ =
+        run_byz_mode ~reconcile:BR.Ship_segments ~f ~strategy_kind:`Silent
+          ~seed
+      in
+      a.unique && a.strong && a.order_preserving)
+
+let suite =
+  ( "ablations",
+    [
+      Alcotest.test_case "ship-segments correct" `Slow
+        test_ship_segments_correct;
+      Alcotest.test_case "ship-segments bit blow-up" `Quick
+        test_ship_segments_bit_blowup;
+      Alcotest.test_case "every-phase re-election pays more" `Quick
+        test_every_phase_reelection;
+      Alcotest.test_case "every-phase correct under killer" `Quick
+        test_every_phase_correct_under_killer;
+      Alcotest.test_case "common-coin consensus pipeline" `Slow
+        test_coin_consensus_mode;
+      QCheck_alcotest.to_alcotest qcheck_ship_segments;
+    ] )

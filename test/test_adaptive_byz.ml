@@ -1,0 +1,73 @@
+(* The paper's §3.2 discussion: "the assumption that the adversary is
+   non-adaptive seems critical for the committee based approach.
+   Specifically, an adaptive adversary can start acting maliciously after
+   the committee has been elected, violating the key property that most
+   of the committee members are correct."
+
+   These tests make that observation executable: the same hijack strategy
+   (committee members all pushing a bogus NEW identity) is harmless below
+   the static threshold but destroys uniqueness once an adaptive
+   adversary corrupts a committee majority. *)
+
+module BR = Repro_renaming.Byzantine_renaming
+module BS = Repro_renaming.Byz_strategies
+module Runner = Repro_renaming.Runner
+module Pool = Repro_crypto.Committee_pool
+
+let setup ~seed ~n =
+  let namespace = n * n in
+  let ids = Repro_renaming.Experiment.random_ids ~seed ~namespace ~n in
+  let params =
+    {
+      (BR.default_params ~namespace ~shared_seed:(seed + 1)) with
+      pool_probability = `Fixed 0.6;
+    }
+  in
+  let pool = BR.pool_of_params params ~n in
+  let committee = Array.to_list ids |> List.filter (Pool.mem pool) in
+  (ids, params, committee)
+
+let run_hijack ~ids ~params ~byz_ids ~seed =
+  let strategy = BS.committee_hijack params ~ids in
+  Runner.assess
+    (BR.run ~params ~ids ~seed ~byz:(byz_ids, strategy) ~max_rounds:400_000 ())
+
+let test_adaptive_majority_breaks_uniqueness () =
+  let ids, params, committee = setup ~seed:17 ~n:24 in
+  (* Adaptive corruption: Carlo waits for the shared randomness, then
+     corrupts a majority of the elected committee. *)
+  let byz_ids =
+    List.filteri (fun i _ -> i mod 3 <> 2) committee (* ~2/3 of members *)
+  in
+  Alcotest.(check bool) "corrupted a majority" true
+    (2 * List.length byz_ids > List.length committee);
+  let a = run_hijack ~ids ~params ~byz_ids ~seed:18 in
+  Alcotest.(check bool)
+    "uniqueness collapses under adaptive corruption" false a.unique;
+  (* Everyone who decided got the same bogus identity. *)
+  let news = List.sort_uniq Int.compare (List.map snd a.assignments) in
+  Alcotest.(check (list int)) "all decided on the planted id" [ 1 ] news
+
+let test_static_minority_is_harmless () =
+  let ids, params, committee = setup ~seed:17 ~n:24 in
+  (* Static corruption keeps the Byzantine committee share below the
+     fault threshold; the same flood cannot reach the decision
+     threshold. *)
+  let t = (List.length committee - 1) / 3 in
+  let byz_ids = List.filteri (fun i _ -> i < t) committee in
+  let a = run_hijack ~ids ~params ~byz_ids ~seed:18 in
+  Alcotest.(check bool) "unique" true a.unique;
+  Alcotest.(check bool) "strong" true a.strong;
+  Alcotest.(check bool) "order preserving" true a.order_preserving;
+  Alcotest.(check int) "all honest decide"
+    (Array.length ids - List.length byz_ids)
+    a.decided
+
+let suite =
+  ( "adaptive_byz",
+    [
+      Alcotest.test_case "adaptive majority breaks uniqueness" `Quick
+        test_adaptive_majority_breaks_uniqueness;
+      Alcotest.test_case "static minority harmless" `Quick
+        test_static_minority_is_harmless;
+    ] )

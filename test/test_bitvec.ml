@@ -1,0 +1,111 @@
+module B = Repro_util.Bitvec
+module I = Repro_util.Interval
+
+let test_basic () =
+  let v = B.create 10 in
+  Alcotest.(check int) "length" 10 (B.length v);
+  Alcotest.(check bool) "initially zero" false (B.get v 1);
+  B.set v 3 true;
+  B.set v 10 true;
+  Alcotest.(check bool) "set 3" true (B.get v 3);
+  Alcotest.(check bool) "set 10" true (B.get v 10);
+  B.set v 3 false;
+  Alcotest.(check bool) "cleared 3" false (B.get v 3);
+  Alcotest.(check int) "count_all" 1 (B.count_all v);
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitvec: position out of range")
+    (fun () -> ignore (B.get v 11))
+
+let test_rank_select () =
+  let v = B.create 12 in
+  List.iter (fun i -> B.set v i true) [ 2; 5; 7; 12 ];
+  Alcotest.(check int) "rank 1" 0 (B.rank v 1);
+  Alcotest.(check int) "rank 2" 1 (B.rank v 2);
+  Alcotest.(check int) "rank 7" 3 (B.rank v 7);
+  Alcotest.(check int) "rank 12" 4 (B.rank v 12);
+  Alcotest.(check (option int)) "select 3" (Some 7) (B.select v 3);
+  Alcotest.(check (option int)) "select 5" None (B.select v 5);
+  Alcotest.(check (list int)) "ones_in" [ 5; 7 ] (B.ones_in v (I.make 3 8))
+
+let test_fill_and_blit () =
+  let v = B.create 16 in
+  B.fill_segment_with_ones v (I.make 5 10) 3;
+  Alcotest.(check int) "filled count" 3 (B.count v (I.make 5 10));
+  Alcotest.(check int) "nothing outside" 3 (B.count_all v);
+  let w = B.create 16 in
+  B.blit_segment ~src:v ~dst:w (I.make 1 16);
+  Alcotest.(check bool) "segments equal" true (B.equal_segment v w (I.make 1 16));
+  B.set w 16 true;
+  Alcotest.(check bool) "differ now" false (B.equal_segment v w (I.make 9 16));
+  Alcotest.(check bool) "prefix still equal" true
+    (B.equal_segment v w (I.make 1 8));
+  Alcotest.check_raises "overfill" (Invalid_argument "Bitvec.fill_segment_with_ones")
+    (fun () -> B.fill_segment_with_ones v (I.make 1 2) 3)
+
+(* Model-based property test: Bitvec behaves like a bool array. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (let* pos = int_range 1 64 in
+       let* b = bool in
+       return (pos, b)))
+
+let qcheck_model =
+  QCheck.Test.make ~name:"bitvec agrees with bool-array model" ~count:300
+    (QCheck.make
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map (fun (p, b) -> Printf.sprintf "%d:=%b" p b) ops))
+       ops_gen)
+    (fun ops ->
+      let v = B.create 64 in
+      let model = Array.make 65 false in
+      List.iter
+        (fun (pos, b) ->
+          B.set v pos b;
+          model.(pos) <- b)
+        ops;
+      let ok_bits = ref true in
+      for i = 1 to 64 do
+        if B.get v i <> model.(i) then ok_bits := false
+      done;
+      let model_count lo hi =
+        let c = ref 0 in
+        for i = lo to hi do
+          if model.(i) then incr c
+        done;
+        !c
+      in
+      !ok_bits
+      && B.count v (I.make 10 50) = model_count 10 50
+      && B.rank v 33 = model_count 1 33
+      && B.count_all v = model_count 1 64)
+
+let qcheck_fold =
+  QCheck.Test.make ~name:"fold_segment visits bits in order" ~count:200
+    QCheck.(pair (int_range 1 40) (int_range 0 23))
+    (fun (lo, span) ->
+      let v = B.create 64 in
+      let hi = lo + span in
+      (* set even positions *)
+      for i = lo to hi do
+        if i mod 2 = 0 then B.set v i true
+      done;
+      let collected =
+        B.fold_segment v (I.make lo hi) ~init:[] ~f:(fun acc b -> b :: acc)
+        |> List.rev
+      in
+      List.length collected = span + 1
+      && List.for_all2
+           (fun b i -> b = (i mod 2 = 0))
+           collected
+           (List.init (span + 1) (fun k -> lo + k)))
+
+let suite =
+  ( "bitvec",
+    [
+      Alcotest.test_case "basic get/set" `Quick test_basic;
+      Alcotest.test_case "rank/select/ones_in" `Quick test_rank_select;
+      Alcotest.test_case "fill/blit/equal" `Quick test_fill_and_blit;
+      QCheck_alcotest.to_alcotest qcheck_model;
+      QCheck_alcotest.to_alcotest qcheck_fold;
+    ] )

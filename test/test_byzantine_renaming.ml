@@ -1,0 +1,206 @@
+(* End-to-end tests of Theorem 1.3's algorithm under Byzantine nodes that
+   stay silent, spray random protocol messages, or run the crafted
+   split-world attack (partial identity announcements + full equivocation
+   in every sub-protocol). *)
+
+module BR = Repro_renaming.Byzantine_renaming
+module BS = Repro_renaming.Byz_strategies
+module Runner = Repro_renaming.Runner
+module Pool = Repro_crypto.Committee_pool
+module Rng = Repro_util.Rng
+
+let make_params ?(pool_probability = 0.6) ~namespace ~shared_seed () =
+  {
+    (BR.default_params ~namespace ~shared_seed) with
+    pool_probability = `Fixed pool_probability;
+  }
+
+let make_ids ~seed ~namespace ~n =
+  Repro_renaming.Experiment.random_ids ~seed ~namespace ~n
+
+(* Byzantine nodes chosen independently of the shared pool (static
+   corruption happens before the shared randomness is revealed). *)
+let pick_byz ~seed ~f ids =
+  let rng = Rng.of_seed (seed lxor 0x6b2) in
+  Array.to_list (Rng.sample_without_replacement rng f ids)
+
+(* The committee sub-protocols need the Byzantine candidates within their
+   fault threshold; the paper gets this w.h.p. from Chernoff bounds — at
+   test scale we check the draw explicitly and skip unlucky ones. *)
+let committee_precondition params ~n ids byz_ids =
+  let pool = BR.pool_of_params params ~n in
+  let view =
+    Array.to_list ids |> List.filter (Pool.mem pool)
+  in
+  let byz_in_view = List.filter (fun b -> List.mem b view) byz_ids in
+  let t = (List.length view - 1) / 3 in
+  List.length view >= 4 && List.length byz_in_view <= t
+
+let test_no_byz_exact () =
+  let n = 24 in
+  let namespace = n * n in
+  let ids = make_ids ~seed:1 ~namespace ~n in
+  let params = make_params ~namespace ~shared_seed:2 () in
+  let a = Runner.assess (BR.run ~params ~ids ~seed:3 ()) in
+  Alcotest.(check bool) "correct" true a.correct;
+  Alcotest.(check bool) "order preserving" true a.order_preserving;
+  Alcotest.(check (list int)) "exact [1..n]"
+    (List.init n (fun i -> i + 1))
+    (List.map snd a.assignments)
+
+let run_with_strategy ~n ~f ~seed strategy_of =
+  let namespace = n * n in
+  let ids = make_ids ~seed ~namespace ~n in
+  let params = make_params ~namespace ~shared_seed:(seed + 1) () in
+  let byz_ids = pick_byz ~seed ~f ids in
+  if not (committee_precondition params ~n ids byz_ids) then None
+  else
+    let strategy = strategy_of params ids in
+    Some
+      (Runner.assess
+         (BR.run ~params ~ids ~seed ~byz:(byz_ids, strategy)
+            ~max_rounds:400_000 ()))
+
+let check_byz_outcome name ~n ~f (a : Runner.assessment) =
+  Alcotest.(check bool) (name ^ ": unique") true a.unique;
+  Alcotest.(check bool) (name ^ ": strong") true a.strong;
+  Alcotest.(check bool) (name ^ ": order preserving") true a.order_preserving;
+  Alcotest.(check int) (name ^ ": all honest decide") (n - f) a.decided;
+  Alcotest.(check int) (name ^ ": byz accounted") f a.byzantine
+
+let test_silent_byz () =
+  match run_with_strategy ~n:24 ~f:7 ~seed:12 (fun _ _ -> BS.silent) with
+  | None -> Alcotest.fail "precondition should hold for this seed"
+  | Some a -> check_byz_outcome "silent" ~n:24 ~f:7 a
+
+let test_noise_byz () =
+  let strategy params ids =
+    BS.random_noise params ~rng:(Rng.of_seed 1234) ~ids
+  in
+  match run_with_strategy ~n:24 ~f:6 ~seed:22 strategy with
+  | None -> Alcotest.fail "precondition should hold for this seed"
+  | Some a -> check_byz_outcome "noise" ~n:24 ~f:6 a
+
+let test_split_world_byz () =
+  let strategy params ids =
+    BS.split_world params ~rng:(Rng.of_seed 99) ~ids
+  in
+  match run_with_strategy ~n:24 ~f:5 ~seed:31 strategy with
+  | None -> Alcotest.fail "precondition should hold for this seed"
+  | Some a ->
+      check_byz_outcome "split-world" ~n:24 ~f:5 a;
+      (* The attack forces fingerprint recursion: the run must take
+         noticeably longer than a clean one. *)
+      Alcotest.(check bool) "recursion happened" true (a.rounds > 100)
+
+let test_committee_everyone_mode () =
+  let n = 18 in
+  let namespace = n * n in
+  let ids = make_ids ~seed:41 ~namespace ~n in
+  let params =
+    { (BR.default_params ~namespace ~shared_seed:42) with
+      committee = BR.Everyone }
+  in
+  let byz_ids = pick_byz ~seed:43 ~f:4 ids in
+  let strategy = BS.split_world params ~rng:(Rng.of_seed 44) ~ids in
+  let a =
+    Runner.assess
+      (BR.run ~params ~ids ~seed:45 ~byz:(byz_ids, strategy)
+         ~max_rounds:400_000 ())
+  in
+  Alcotest.(check bool) "everyone-committee correct" true a.unique;
+  Alcotest.(check bool) "strong" true a.strong;
+  Alcotest.(check int) "honest decide" (n - 4) a.decided
+
+let test_new_ids_are_ranks () =
+  (* Order preservation is structural: new id = rank of original id among
+     participants. With no byz the mapping is exactly position in the
+     sorted id array. *)
+  let n = 16 in
+  let namespace = 4096 in
+  let ids = make_ids ~seed:51 ~namespace ~n in
+  let params = make_params ~namespace ~shared_seed:52 () in
+  let a = Runner.assess (BR.run ~params ~ids ~seed:53 ()) in
+  List.iteri
+    (fun i (orig, nid) ->
+      Alcotest.(check int) (Printf.sprintf "rank of %d" orig) (i + 1) nid)
+    a.assignments
+
+let test_tiny_networks () =
+  List.iter
+    (fun n ->
+      let namespace = max 4 (n * n) in
+      let ids = make_ids ~seed:(90 + n) ~namespace ~n in
+      let params = make_params ~pool_probability:1.0 ~namespace
+          ~shared_seed:(91 + n) () in
+      let a = Runner.assess (BR.run ~params ~ids ~seed:(92 + n) ()) in
+      Alcotest.(check bool) (Printf.sprintf "n=%d correct" n) true a.correct;
+      Alcotest.(check (list int))
+        (Printf.sprintf "n=%d exact ranks" n)
+        (List.init n (fun i -> i + 1))
+        (List.map snd a.assignments))
+    [ 1; 2; 3; 4 ]
+
+let test_empty_committee_trips_deadlock_guard () =
+  (* With candidate probability 0 no node can announce and nobody ever
+     distributes: the documented failure mode is the engine's max-rounds
+     guard (the paper's w.h.p. guarantees exclude this by committee-size
+     concentration). *)
+  let n = 8 in
+  let namespace = 256 in
+  let ids = make_ids ~seed:81 ~namespace ~n in
+  let params = make_params ~pool_probability:0. ~namespace ~shared_seed:82 () in
+  Alcotest.check_raises "deadlock guard"
+    (Repro_sim.Engine.Max_rounds_exceeded 50) (fun () ->
+      ignore (BR.run ~params ~ids ~max_rounds:50 ~seed:83 ()))
+
+let test_identity_outside_namespace_rejected () =
+  let params = make_params ~namespace:100 ~shared_seed:1 () in
+  Alcotest.check_raises "namespace check"
+    (Invalid_argument "Byzantine_renaming.run: identity outside namespace")
+    (fun () -> ignore (BR.run ~params ~ids:[| 5; 101 |] ~seed:1 ()))
+
+let scenario_gen =
+  QCheck.make
+    ~print:(fun (n, f, kind, seed) ->
+      Printf.sprintf "n=%d f=%d kind=%d seed=%d" n f kind seed)
+    QCheck.Gen.(
+      let* n = int_range 12 28 in
+      let* f = int_range 0 (n / 5) in
+      let* kind = int_range 0 2 in
+      let* seed = int_range 0 20_000 in
+      return (n, f, kind, seed))
+
+let qcheck_byz_correct =
+  QCheck.Test.make
+    ~name:"byzantine renaming: unique+strong+order under attack" ~count:40
+    scenario_gen (fun (n, f, kind, seed) ->
+      let strategy_of params ids =
+        match kind with
+        | 0 -> BS.silent
+        | 1 -> BS.random_noise params ~rng:(Rng.of_seed (seed + 2)) ~ids
+        | _ -> BS.split_world params ~rng:(Rng.of_seed (seed + 3)) ~ids
+      in
+      match run_with_strategy ~n ~f ~seed strategy_of with
+      | None -> QCheck.assume_fail () (* unlucky pool draw: skip *)
+      | Some a ->
+          a.unique && a.strong && a.order_preserving
+          && a.decided = n - f)
+
+let suite =
+  ( "byzantine_renaming",
+    [
+      Alcotest.test_case "no byz: exact ranks" `Quick test_no_byz_exact;
+      Alcotest.test_case "silent byz" `Quick test_silent_byz;
+      Alcotest.test_case "noise byz" `Quick test_noise_byz;
+      Alcotest.test_case "split-world byz" `Slow test_split_world_byz;
+      Alcotest.test_case "committee=everyone mode" `Slow
+        test_committee_everyone_mode;
+      Alcotest.test_case "new ids are ranks" `Quick test_new_ids_are_ranks;
+      Alcotest.test_case "tiny networks" `Quick test_tiny_networks;
+      Alcotest.test_case "empty committee trips guard" `Quick
+        test_empty_committee_trips_deadlock_guard;
+      Alcotest.test_case "namespace check" `Quick
+        test_identity_outside_namespace_rejected;
+      QCheck_alcotest.to_alcotest qcheck_byz_correct;
+    ] )

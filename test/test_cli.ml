@@ -1,0 +1,88 @@
+(* End-to-end tests of the installed CLI binary: exact (seeded,
+   deterministic) assessment lines and exit codes. *)
+
+(* The test binary lives in _build/default/test/; the CLI is its sibling
+   under bin/ (declared as a dune dep). Resolve relative to the running
+   executable so the tests work from any cwd. *)
+let cli =
+  let dir = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.concat (Filename.concat dir "..") "bin")
+    "renaming_cli.exe"
+
+let run_capture args =
+  let tmp = Filename.temp_file "cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" cli args tmp in
+  let code = Sys.command cmd in
+  let ic = open_in tmp in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  (code, String.trim contents)
+
+let last_line s =
+  match List.rev (String.split_on_char '\n' s) with
+  | last :: _ -> last
+  | [] -> ""
+
+let test_crash_subcommand () =
+  let code, out = run_capture "crash -n 24 -f 4 --adversary killer --seed 3" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "assessment line"
+    "n=24 decided=20 crashed=4 byz=0 unique=true strong=true order=true \
+     rounds=45 msgs=7856 bits=176832"
+    (last_line out)
+
+let test_byz_subcommand () =
+  let code, out = run_capture "byz -n 16 -f 2 --attack silent --seed 3" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "assessment line"
+    "n=16 decided=14 crashed=0 byz=2 unique=true strong=true order=true \
+     rounds=36 msgs=5264 bits=57148"
+    (last_line out)
+
+let test_halving_subcommand () =
+  let code, out = run_capture "halving -n 12 --seed 2" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "assessment line"
+    "n=12 decided=12 crashed=0 byz=0 unique=true strong=true order=true \
+     rounds=36 msgs=5184 bits=107760"
+    (last_line out)
+
+let test_verbose_lists_assignments () =
+  let code, out = run_capture "crash -n 4 --seed 1 -v" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "prints the mapping header" true
+    (String.length out > 0
+    && String.sub out 0 (String.length "original -> new")
+       = "original -> new")
+
+let test_unknown_subcommand_fails () =
+  let code, _ = run_capture "frobnicate" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_help () =
+  let code, out = run_capture "--help" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "mentions subcommands" true
+    (let has needle =
+       let rec go i =
+         i + String.length needle <= String.length out
+         && (String.sub out i (String.length needle) = needle || go (i + 1))
+       in
+       go 0
+     in
+     has "crash" && has "byz" && has "lower-bound")
+
+let suite =
+  ( "cli",
+    [
+      Alcotest.test_case "crash subcommand" `Quick test_crash_subcommand;
+      Alcotest.test_case "byz subcommand" `Quick test_byz_subcommand;
+      Alcotest.test_case "halving subcommand" `Quick test_halving_subcommand;
+      Alcotest.test_case "verbose assignments" `Quick
+        test_verbose_lists_assignments;
+      Alcotest.test_case "unknown subcommand fails" `Quick
+        test_unknown_subcommand_fails;
+      Alcotest.test_case "help" `Quick test_help;
+    ] )

@@ -1,0 +1,126 @@
+(* Codec properties for every protocol message type: decode ∘ encode is
+   the identity, and the [bits] accounting the metrics use equals the
+   encoded bit length exactly. *)
+
+module I = Repro_util.Interval
+module CRM = Repro_renaming.Crash_renaming.Msg
+module BRM = Repro_renaming.Byzantine_renaming.Msg
+module FLM = Repro_renaming.Flooding_renaming.Msg
+module PK = Repro_consensus.Phase_king
+module V = Repro_consensus.Validator
+module FP = Repro_crypto.Fingerprint
+
+let crash_msg_gen =
+  QCheck.Gen.(
+    let payload =
+      let* id = int_range 1 1_000_000 in
+      let* lo = int_range 1 5000 in
+      let* span = int_range 0 5000 in
+      let* d = int_range 0 40 in
+      let* p = int_range 0 40 in
+      return (id, I.make lo (lo + span), d, p)
+    in
+    oneof
+      [
+        return CRM.Notify;
+        (let* id, iv, d, p = payload in
+         return (CRM.Status { id; iv; d; p }));
+        (let* id, iv, d, p = payload in
+         return (CRM.Response { id; iv; d; p }));
+      ])
+
+let fp_gen =
+  QCheck.Gen.(
+    let* a = int_range 0 ((1 lsl 31) - 2) in
+    let* b = int_range 0 ((1 lsl 31) - 2) in
+    return (FP.of_raw a b))
+
+let byz_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return BRM.Elect;
+        return BRM.Announce;
+        (let* b = bool in
+         oneofl [ BRM.Pk (PK.Vote b); BRM.Pk (PK.Propose b); BRM.Pk (PK.King b) ]);
+        (let* fp = fp_gen in
+         let* cnt = int_range 0 100_000 in
+         return (BRM.Vld (V.Input (fp, cnt))));
+        return (BRM.Vld (V.Lock None));
+        (let* fp = fp_gen in
+         let* cnt = int_range 0 100_000 in
+         return (BRM.Vld (V.Lock (Some (fp, cnt)))));
+        (let* b = bool in
+         return (BRM.Diff b));
+        return (BRM.New None);
+        (let* r = int_range 1 100_000 in
+         return (BRM.New (Some r)));
+      ])
+
+let flooding_msg_gen =
+  QCheck.Gen.(
+    let* ids = list_size (int_range 0 50) (int_range 1 100_000) in
+    return (FLM.Known (List.sort_uniq Int.compare ids)))
+
+let roundtrip_test name gen ~equal ~encode ~decode ~bits ~pp =
+  QCheck.Test.make ~name ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" pp) gen)
+    (fun m ->
+      let encoded, len = encode m in
+      bits m = len
+      && 8 * String.length encoded >= len
+      && 8 * String.length encoded < len + 8
+      && match decode encoded with Some m' -> equal m m' | None -> false)
+
+let qcheck_crash =
+  roundtrip_test "crash msg codec roundtrip + exact bits" crash_msg_gen
+    ~equal:( = ) ~encode:CRM.encode ~decode:CRM.decode ~bits:CRM.bits
+    ~pp:CRM.pp
+
+let qcheck_byz =
+  roundtrip_test "byz msg codec roundtrip + exact bits" byz_msg_gen
+    ~equal:( = ) ~encode:BRM.encode ~decode:BRM.decode ~bits:BRM.bits
+    ~pp:BRM.pp
+
+let qcheck_flooding =
+  roundtrip_test "flooding msg codec roundtrip + exact bits" flooding_msg_gen
+    ~equal:( = ) ~encode:FLM.encode ~decode:FLM.decode ~bits:FLM.bits
+    ~pp:FLM.pp
+
+let test_message_size_bounds () =
+  (* The O(log N) claim, concretely: any crash/byz message over namespace
+     N fits in c·log2 N + c' bits. *)
+  let namespace = 1 lsl 20 in
+  let log_n = Repro_util.Ilog.ceil_log2 namespace in
+  let sample =
+    [
+      CRM.Status
+        {
+          id = namespace;
+          iv = I.make 1 namespace;
+          d = log_n;
+          p = log_n;
+        };
+      CRM.Response
+        { id = namespace; iv = I.make (namespace / 2) namespace; d = 0; p = 0 };
+    ]
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a fits in O(log N)" CRM.pp m)
+        true
+        (CRM.bits m <= (8 * log_n) + 16))
+    sample;
+  let fp = FP.of_raw 123456 654321 in
+  Alcotest.(check bool) "byz validator message O(log N)" true
+    (BRM.bits (BRM.Vld (V.Input (fp, namespace))) <= (8 * log_n) + 80)
+
+let suite =
+  ( "codecs",
+    [
+      Alcotest.test_case "message size bounds" `Quick test_message_size_bounds;
+      QCheck_alcotest.to_alcotest qcheck_crash;
+      QCheck_alcotest.to_alcotest qcheck_byz;
+      QCheck_alcotest.to_alcotest qcheck_flooding;
+    ] )

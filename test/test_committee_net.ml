@@ -1,0 +1,58 @@
+module CN = Repro_consensus.Committee_net
+
+let members = [ 3; 7; 11; 15; 19; 23; 27 ]
+
+let make_net ?(inject = []) me =
+  (* A loopback transport: broadcast returns the sent messages as if every
+     member echoed, plus injected foreign traffic. *)
+  {
+    CN.me;
+    members;
+    exchange =
+      (fun out -> inject @ List.map (fun (dst, m) -> (dst, m)) out);
+  }
+
+let test_thresholds () =
+  let net = make_net 3 in
+  Alcotest.(check int) "size" 7 (CN.size net);
+  Alcotest.(check int) "t = (7-1)/3" 2 (CN.fault_threshold net);
+  Alcotest.(check int) "quorum = n - t" 5 (CN.quorum net)
+
+let test_threshold_arithmetic () =
+  List.iter
+    (fun (n, t) ->
+      let net = { (make_net 1) with CN.members = List.init n (fun i -> i + 1) } in
+      Alcotest.(check int) (Printf.sprintf "t for %d" n) t
+        (CN.fault_threshold net);
+      Alcotest.(check bool) "n > 3t" true (n > 3 * CN.fault_threshold net))
+    [ (4, 1); (5, 1); (6, 1); (7, 2); (10, 3); (13, 4); (100, 33) ]
+
+let test_broadcast_filters_outsiders () =
+  let inject = [ (99, "evil"); (7, "fine") ] in
+  let net = make_net ~inject 3 in
+  let inbox = CN.broadcast net "hello" in
+  Alcotest.(check bool) "outsider dropped" true
+    (not (List.exists (fun (src, _) -> src = 99) inbox));
+  Alcotest.(check bool) "member kept" true
+    (List.exists (fun (src, m) -> src = 7 && m = "fine") inbox)
+
+let test_broadcast_dedups_equivocation () =
+  (* Two messages from the same member in one round: only the first
+     counts as that member's vote. *)
+  let inject = [ (7, "first"); (7, "second") ] in
+  let net = { (make_net 3) with CN.exchange = (fun _ -> inject) } in
+  let inbox = CN.silent_round net in
+  Alcotest.(check int) "one vote per member" 1 (List.length inbox);
+  Alcotest.(check (pair int string)) "first wins" (7, "first") (List.hd inbox)
+
+let suite =
+  ( "committee_net",
+    [
+      Alcotest.test_case "thresholds" `Quick test_thresholds;
+      Alcotest.test_case "threshold arithmetic" `Quick
+        test_threshold_arithmetic;
+      Alcotest.test_case "outsiders filtered" `Quick
+        test_broadcast_filters_outsiders;
+      Alcotest.test_case "equivocation deduped" `Quick
+        test_broadcast_dedups_equivocation;
+    ] )

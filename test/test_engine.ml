@@ -1,0 +1,278 @@
+module Engine = Repro_sim.Engine
+module Metrics = Repro_sim.Metrics
+
+module M = struct
+  type t = Ping of int | Pong of int
+
+  let bits = function Ping _ -> 10 | Pong _ -> 20
+  let pp ppf = function
+    | Ping v -> Format.fprintf ppf "ping(%d)" v
+    | Pong v -> Format.fprintf ppf "pong(%d)" v
+end
+
+module Net = Engine.Make (M)
+
+let ids3 = [| 10; 20; 30 |]
+
+let test_same_round_delivery () =
+  (* Everyone sends its id to everyone; everyone must receive all three
+     messages in the same round, sorted by src. *)
+  let program ctx =
+    let inbox = Net.broadcast ctx (M.Ping (Net.my_id ctx)) in
+    List.map (fun (e : Net.envelope) -> (e.src, e.msg)) inbox
+  in
+  let res = Net.run ~ids:ids3 ~program () in
+  List.iter
+    (fun (id, outcome) ->
+      match outcome with
+      | Engine.Decided received ->
+          Alcotest.(check int)
+            (Printf.sprintf "node %d inbox size" id)
+            3 (List.length received);
+          let srcs = List.map fst received in
+          Alcotest.(check (list int)) "sorted srcs" [ 10; 20; 30 ] srcs
+      | _ -> Alcotest.fail "expected Decided")
+    res.outcomes;
+  Alcotest.(check int) "rounds" 1 res.metrics.Metrics.rounds;
+  Alcotest.(check int) "messages 3x3" 9 res.metrics.Metrics.honest_messages;
+  Alcotest.(check int) "bits" 90 res.metrics.Metrics.honest_bits
+
+let test_point_to_point () =
+  let program ctx =
+    if Net.my_id ctx = 10 then begin
+      ignore (Net.exchange ctx [ (20, M.Ping 99) ]);
+      0
+    end
+    else
+      let inbox = Net.skip_round ctx in
+      List.length inbox
+  in
+  let res = Net.run ~ids:ids3 ~program () in
+  let outcome id = List.assoc id res.outcomes in
+  Alcotest.(check bool) "20 got one message" true
+    (outcome 20 = Engine.Decided 1);
+  Alcotest.(check bool) "30 got nothing" true (outcome 30 = Engine.Decided 0)
+
+let test_crash_semantics () =
+  (* Victim 20 crashes at round 1 (its second exchange): its round-0
+     traffic flows, round-1 traffic is suppressed by the filter. *)
+  let program ctx =
+    let a = Net.broadcast ctx (M.Ping 1) in
+    let b = Net.broadcast ctx (M.Ping 2) in
+    let c = Net.skip_round ctx in
+    (List.length a, List.length b, List.length c)
+  in
+  let crash obs =
+    if obs.Net.obs_round = 1 then
+      [ { Net.victim = 20; delivered = (fun _ -> false) } ]
+    else []
+  in
+  let res = Net.run ~ids:ids3 ~crash ~program () in
+  (match List.assoc 20 res.outcomes with
+  | Engine.Crashed r -> Alcotest.(check int) "crash round recorded" 1 r
+  | _ -> Alcotest.fail "20 should be crashed");
+  (match List.assoc 10 res.outcomes with
+  | Engine.Decided (a, b, c) ->
+      Alcotest.(check int) "round0: all 3 broadcast" 3 a;
+      Alcotest.(check int) "round1: victim suppressed" 2 b;
+      Alcotest.(check int) "round2: idle" 0 c
+  | _ -> Alcotest.fail "10 should decide");
+  Alcotest.(check int) "one crash recorded" 1 res.metrics.Metrics.crashes
+
+let test_mid_send_partial_delivery () =
+  (* Victim 10 crashes mid-send in round 0, delivering only to 20. *)
+  let program ctx =
+    let inbox = Net.broadcast ctx (M.Ping (Net.my_id ctx)) in
+    List.exists (fun (e : Net.envelope) -> e.src = 10) inbox
+  in
+  let crash obs =
+    if obs.Net.obs_round = 0 then
+      [ { Net.victim = 10; delivered = (fun e -> e.dst = 20) } ]
+    else []
+  in
+  let res = Net.run ~ids:ids3 ~crash ~program () in
+  Alcotest.(check bool) "20 heard 10" true
+    (List.assoc 20 res.outcomes = Engine.Decided true);
+  Alcotest.(check bool) "30 did not hear 10" true
+    (List.assoc 30 res.outcomes = Engine.Decided false)
+
+let test_byzantine_stamping () =
+  (* The byz node sends a message claiming nothing; the engine stamps the
+     true source (authentication). Byz traffic is costed separately. *)
+  let program ctx =
+    let inbox = Net.skip_round ctx in
+    List.map (fun (e : Net.envelope) -> e.src) inbox
+  in
+  let strategy ~byz_id ~round ~inbox:_ =
+    if round = 0 then [ (10, M.Pong byz_id) ] else []
+  in
+  let res = Net.run ~ids:ids3 ~byz:([ 30 ], strategy) ~program () in
+  Alcotest.(check bool) "10 sees authenticated src 30" true
+    (List.assoc 10 res.outcomes = Engine.Decided [ 30 ]);
+  Alcotest.(check bool) "30 marked byzantine" true
+    (List.assoc 30 res.outcomes = Engine.Byzantine);
+  Alcotest.(check int) "byz message counted apart" 1
+    res.metrics.Metrics.byz_messages;
+  Alcotest.(check int) "byz bits" 20 res.metrics.Metrics.byz_bits;
+  Alcotest.(check int) "honest messages zero" 0
+    res.metrics.Metrics.honest_messages
+
+let test_byz_receives_inbox () =
+  (* Byzantine strategies are reactive: they see last round's inbox. *)
+  let witnessed = ref None in
+  let program ctx =
+    ignore (Net.exchange ctx [ (30, M.Ping 7) ]);
+    ignore (Net.skip_round ctx);
+    ()
+  in
+  let strategy ~byz_id:_ ~round ~inbox =
+    if round = 1 then
+      witnessed :=
+        Some
+          (List.exists
+             (fun (e : Net.envelope) -> e.src = 10 && e.msg = M.Ping 7)
+             inbox);
+    []
+  in
+  ignore (Net.run ~ids:ids3 ~byz:([ 30 ], strategy) ~program ());
+  Alcotest.(check (option bool)) "byz saw the ping" (Some true) !witnessed
+
+let test_max_rounds_guard () =
+  let program ctx =
+    let rec loop () =
+      ignore (Net.skip_round ctx);
+      loop ()
+    in
+    loop ()
+  in
+  Alcotest.check_raises "guard trips" (Engine.Max_rounds_exceeded 10) (fun () ->
+      ignore (Net.run ~ids:ids3 ~max_rounds:10 ~program ()))
+
+let test_duplicate_ids_rejected () =
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Engine.run: duplicate identities") (fun () ->
+      ignore (Net.run ~ids:[| 1; 1 |] ~program:(fun _ -> 0) ()))
+
+let test_byz_id_must_participate () =
+  Alcotest.check_raises "unknown byz id"
+    (Invalid_argument "Engine.run: byzantine id not a participant") (fun () ->
+      ignore
+        (Net.run ~ids:ids3
+           ~byz:([ 99 ], fun ~byz_id:_ ~round:_ ~inbox:_ -> [])
+           ~program:(fun _ -> 0) ()))
+
+let test_determinism () =
+  let program ctx =
+    let r = Net.rng ctx in
+    let x = Repro_util.Rng.int r 1000 in
+    ignore (Net.broadcast ctx (M.Ping x));
+    x
+  in
+  let run () =
+    let res = Net.run ~ids:ids3 ~seed:77 ~program () in
+    ( List.map (fun (id, o) -> (id, o)) res.outcomes,
+      res.metrics.Metrics.honest_messages )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical reruns" true (a = b)
+
+let test_node_rngs_differ () =
+  let program ctx = Repro_util.Rng.int (Net.rng ctx) 1_000_000 in
+  let res = Net.run ~ids:ids3 ~seed:5 ~program () in
+  let vals =
+    List.filter_map
+      (function _, Engine.Decided v -> Some v | _ -> None)
+      res.outcomes
+  in
+  Alcotest.(check int) "three values" 3 (List.length vals);
+  Alcotest.(check int) "all distinct" 3
+    (List.length (List.sort_uniq Int.compare vals))
+
+let test_per_round_message_counts () =
+  let program ctx =
+    ignore (Net.broadcast ctx (M.Ping 0));
+    ignore (Net.exchange ctx [ (10, M.Ping 1) ]);
+    ignore (Net.skip_round ctx);
+    ()
+  in
+  let res = Net.run ~ids:ids3 ~program () in
+  Alcotest.(check (array int)) "per-round profile" [| 9; 3; 0 |]
+    (Metrics.messages_by_round res.metrics)
+
+(* Fuzz: random send patterns. Each node runs [rounds] rounds, sending a
+   deterministic-per-seed random subset each round; invariants: inboxes
+   are sorted and complete (message conservation), metrics count exactly
+   the sends, and the whole run is reproducible. *)
+let qcheck_fuzz =
+  QCheck.Test.make ~name:"engine fuzz: conservation + ordering + determinism"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (n, rounds, seed) ->
+         Printf.sprintf "n=%d rounds=%d seed=%d" n rounds seed)
+       QCheck.Gen.(
+         let* n = int_range 1 12 in
+         let* rounds = int_range 1 6 in
+         let* seed = int_range 0 100_000 in
+         return (n, rounds, seed)))
+    (fun (n, rounds, seed) ->
+      let ids = Array.init n (fun i -> (i * 3) + 1) in
+      let run () =
+        let sent = ref 0 in
+        let program ctx =
+          let rng = Net.rng ctx in
+          let ok = ref true in
+          for _ = 1 to rounds do
+            let out =
+              Array.to_list ids
+              |> List.filter (fun _ -> Repro_util.Rng.bool rng)
+              |> List.map (fun dst -> (dst, M.Ping (Net.my_id ctx)))
+            in
+            sent := !sent + List.length out;
+            let inbox = Net.exchange ctx out in
+            let srcs = List.map (fun (e : Net.envelope) -> e.src) inbox in
+            if List.sort Int.compare srcs <> srcs then ok := false;
+            if List.exists (fun (e : Net.envelope) -> e.dst <> Net.my_id ctx)
+                 inbox
+            then ok := false
+          done;
+          !ok
+        in
+        let res = Net.run ~ids ~seed ~program () in
+        (res, !sent)
+      in
+      let res1, sent1 = run () in
+      let res2, sent2 = run () in
+      let all_ok =
+        List.for_all
+          (function _, Engine.Decided ok -> ok | _ -> false)
+          res1.Engine.outcomes
+      in
+      (* [sent] is accumulated across all fibers of the run. *)
+      all_ok
+      && res1.metrics.Metrics.honest_messages = sent1
+      && sent1 = sent2
+      && res1.metrics.Metrics.honest_messages
+         = res2.metrics.Metrics.honest_messages
+      && res1.metrics.Metrics.rounds = rounds)
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "same-round delivery" `Quick test_same_round_delivery;
+      Alcotest.test_case "point-to-point" `Quick test_point_to_point;
+      Alcotest.test_case "crash semantics" `Quick test_crash_semantics;
+      Alcotest.test_case "mid-send partial delivery" `Quick
+        test_mid_send_partial_delivery;
+      Alcotest.test_case "byzantine stamping" `Quick test_byzantine_stamping;
+      Alcotest.test_case "byz receives inbox" `Quick test_byz_receives_inbox;
+      Alcotest.test_case "max rounds guard" `Quick test_max_rounds_guard;
+      Alcotest.test_case "duplicate ids rejected" `Quick
+        test_duplicate_ids_rejected;
+      Alcotest.test_case "byz id must participate" `Quick
+        test_byz_id_must_participate;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "node rngs differ" `Quick test_node_rngs_differ;
+      Alcotest.test_case "per-round message counts" `Quick
+        test_per_round_message_counts;
+      QCheck_alcotest.to_alcotest qcheck_fuzz;
+    ] )

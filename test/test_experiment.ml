@@ -1,0 +1,83 @@
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+
+let test_random_ids () =
+  let ids = E.random_ids ~seed:1 ~namespace:1000 ~n:50 in
+  Alcotest.(check int) "count" 50 (Array.length ids);
+  Alcotest.(check int) "distinct" 50
+    (List.length (List.sort_uniq Int.compare (Array.to_list ids)));
+  Array.iter
+    (fun id -> Alcotest.(check bool) "in namespace" true (1 <= id && id <= 1000))
+    ids;
+  let again = E.random_ids ~seed:1 ~namespace:1000 ~n:50 in
+  Alcotest.(check (array int)) "deterministic" ids again
+
+let test_crash_protocols_all_correct () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun adversary ->
+          let a =
+            E.run_crash ~protocol ~n:20 ~namespace:800 ~adversary ~seed:7 ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/f=%d correct"
+               (E.crash_protocol_name protocol)
+               (E.crash_adversary_f adversary))
+            true a.Runner.correct)
+        [ E.No_crash; E.Random_crashes 5; E.Committee_killer 6;
+          E.Committee_killer_partial 4 ])
+    [ E.This_work_crash; E.Halving_baseline; E.Flooding_baseline ]
+
+let test_byz_protocols_correct () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun adversary ->
+          let a =
+            E.run_byz ~protocol ~n:20 ~namespace:400 ~adversary
+              ~pool_probability:0.7 ~seed:13 ()
+          in
+          let f = E.byz_adversary_f adversary in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/f=%d unique+strong"
+               (E.byz_protocol_name protocol)
+               f)
+            true
+            (a.Runner.unique && a.Runner.strong);
+          Alcotest.(check int)
+            (Printf.sprintf "%s/f=%d honest decide"
+               (E.byz_protocol_name protocol)
+               f)
+            (20 - f) a.Runner.decided)
+        [ E.No_byz; E.Silent_byz 3; E.Noise_byz 3 ])
+    [ E.This_work_byz; E.Everyone_byz ]
+
+let test_averaged () =
+  let _, rounds, messages, bits =
+    E.averaged ~trials:3 ~seed:5 (fun ~seed ->
+        E.run_crash ~protocol:E.This_work_crash ~n:16 ~namespace:500
+          ~adversary:E.No_crash ~seed ())
+  in
+  Alcotest.(check bool) "rounds positive" true (rounds > 0.);
+  Alcotest.(check bool) "messages positive" true (messages > 0.);
+  Alcotest.(check bool) "bits >= messages" true (bits >= messages)
+
+let test_committee_pool_probability () =
+  Alcotest.(check (float 1e-9)) "n=1 saturates" 1.
+    (E.committee_pool_probability ~n:1);
+  let p = E.committee_pool_probability ~n:1024 in
+  Alcotest.(check bool) "theta(log n / n)" true (p > 0.03 && p < 0.05)
+
+let suite =
+  ( "experiment",
+    [
+      Alcotest.test_case "random ids" `Quick test_random_ids;
+      Alcotest.test_case "crash protocols battery" `Slow
+        test_crash_protocols_all_correct;
+      Alcotest.test_case "byz protocols battery" `Slow
+        test_byz_protocols_correct;
+      Alcotest.test_case "averaged" `Quick test_averaged;
+      Alcotest.test_case "pool probability" `Quick
+        test_committee_pool_probability;
+    ] )

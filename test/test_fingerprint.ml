@@ -1,0 +1,81 @@
+module F = Repro_crypto.Fingerprint
+module B = Repro_util.Bitvec
+module I = Repro_util.Interval
+
+let test_determinism () =
+  let k = F.key_of_seed 42 in
+  let k' = F.key_of_seed 42 in
+  let bits = [ true; false; true; true ] in
+  Alcotest.(check bool)
+    "same seed, same fingerprint" true
+    (F.equal (F.of_bits k bits) (F.of_bits k' bits));
+  let k2 = F.key_of_seed 43 in
+  Alcotest.(check bool)
+    "different seed, different fingerprint (whp)" false
+    (F.equal (F.of_bits k bits) (F.of_bits k2 bits))
+
+let test_of_segment_matches_of_bits () =
+  let k = F.key_of_seed 7 in
+  let v = B.create 32 in
+  List.iter (fun i -> B.set v i true) [ 3; 4; 9; 17; 32 ];
+  let seg = I.make 2 20 in
+  let bits =
+    B.fold_segment v seg ~init:[] ~f:(fun acc b -> b :: acc) |> List.rev
+  in
+  Alcotest.(check bool)
+    "segment = explicit bits" true
+    (F.equal (F.of_segment k v seg) (F.of_bits k bits))
+
+let test_position_sensitivity () =
+  let k = F.key_of_seed 11 in
+  (* Same number of ones, different positions: must differ (whp). *)
+  let a = F.of_bits k [ true; false; false; true ] in
+  let b = F.of_bits k [ false; true; true; false ] in
+  Alcotest.(check bool) "position-sensitive" false (F.equal a b)
+
+let test_compare_consistent () =
+  let k = F.key_of_seed 3 in
+  let a = F.of_bits k [ true; true ] in
+  let b = F.of_bits k [ true; false ] in
+  Alcotest.(check int) "compare self" 0 (F.compare a a);
+  Alcotest.(check bool) "compare antisym" true
+    (F.compare a b = -F.compare b a)
+
+let qcheck_no_collision_random_pairs =
+  (* Sampled collision resistance: random distinct bit strings of equal
+     length almost never collide (pair collision prob <= (m/p)^2 with
+     m <= 128, p = 2^31-1: ~ 4e-15). 2000 trials must see none. *)
+  QCheck.Test.make ~name:"no collisions on random distinct inputs" ~count:2000
+    QCheck.(
+      triple small_int
+        (list_of_size (QCheck.Gen.int_range 1 128) bool)
+        (list_of_size (QCheck.Gen.int_range 1 128) bool))
+    (fun (seed, xs, ys) ->
+      let k = F.key_of_seed seed in
+      if List.length xs = List.length ys && xs <> ys then
+        not (F.equal (F.of_bits k xs) (F.of_bits k ys))
+      else true)
+
+let qcheck_raw_roundtrip =
+  QCheck.Test.make ~name:"of_raw/to_int_pair roundtrip (mod p)" ~count:200
+    QCheck.(pair (int_bound ((1 lsl 31) - 2)) (int_bound ((1 lsl 31) - 2)))
+    (fun (a, b) ->
+      let fp = F.of_raw a b in
+      F.to_int_pair fp = (a, b))
+
+let test_bits_size () =
+  let k = F.key_of_seed 1 in
+  Alcotest.(check int) "62-bit wire size" 62 (F.bits (F.of_bits k [ true ]))
+
+let suite =
+  ( "fingerprint",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "of_segment = of_bits" `Quick
+        test_of_segment_matches_of_bits;
+      Alcotest.test_case "position sensitivity" `Quick test_position_sensitivity;
+      Alcotest.test_case "compare" `Quick test_compare_consistent;
+      Alcotest.test_case "wire size" `Quick test_bits_size;
+      QCheck_alcotest.to_alcotest qcheck_no_collision_random_pairs;
+      QCheck_alcotest.to_alcotest qcheck_raw_roundtrip;
+    ] )

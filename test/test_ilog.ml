@@ -1,0 +1,51 @@
+let check_int = Alcotest.(check int)
+
+let test_floor_log2 () =
+  check_int "floor_log2 1" 0 (Repro_util.Ilog.floor_log2 1);
+  check_int "floor_log2 2" 1 (Repro_util.Ilog.floor_log2 2);
+  check_int "floor_log2 3" 1 (Repro_util.Ilog.floor_log2 3);
+  check_int "floor_log2 4" 2 (Repro_util.Ilog.floor_log2 4);
+  check_int "floor_log2 1023" 9 (Repro_util.Ilog.floor_log2 1023);
+  check_int "floor_log2 1024" 10 (Repro_util.Ilog.floor_log2 1024);
+  Alcotest.check_raises "floor_log2 0" (Invalid_argument "Ilog.floor_log2")
+    (fun () -> ignore (Repro_util.Ilog.floor_log2 0))
+
+let test_ceil_log2 () =
+  check_int "ceil_log2 1" 0 (Repro_util.Ilog.ceil_log2 1);
+  check_int "ceil_log2 2" 1 (Repro_util.Ilog.ceil_log2 2);
+  check_int "ceil_log2 3" 2 (Repro_util.Ilog.ceil_log2 3);
+  check_int "ceil_log2 4" 2 (Repro_util.Ilog.ceil_log2 4);
+  check_int "ceil_log2 5" 3 (Repro_util.Ilog.ceil_log2 5);
+  check_int "ceil_log2 1025" 11 (Repro_util.Ilog.ceil_log2 1025)
+
+let test_bit_width () =
+  check_int "bit_width 0" 1 (Repro_util.Ilog.bit_width 0);
+  check_int "bit_width 1" 1 (Repro_util.Ilog.bit_width 1);
+  check_int "bit_width 2" 2 (Repro_util.Ilog.bit_width 2);
+  check_int "bit_width 255" 8 (Repro_util.Ilog.bit_width 255);
+  check_int "bit_width 256" 9 (Repro_util.Ilog.bit_width 256)
+
+let test_pow2 () =
+  check_int "pow2 0" 1 (Repro_util.Ilog.pow2 0);
+  check_int "pow2 10" 1024 (Repro_util.Ilog.pow2 10)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"ceil/floor log2 sandwich" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun n ->
+      let f = Repro_util.Ilog.floor_log2 n in
+      let c = Repro_util.Ilog.ceil_log2 n in
+      (1 lsl f) <= n
+      && n <= (1 lsl c)
+      && c - f <= 1
+      && Repro_util.Ilog.bit_width n = f + 1)
+
+let suite =
+  ( "ilog",
+    [
+      Alcotest.test_case "floor_log2" `Quick test_floor_log2;
+      Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+      Alcotest.test_case "bit_width" `Quick test_bit_width;
+      Alcotest.test_case "pow2" `Quick test_pow2;
+      QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    ] )

@@ -1,0 +1,75 @@
+(* Definition 1.1's general target namespace: renaming into [1, M] for
+   any n <= M < N. The crash algorithm supports it by rooting the halving
+   tree at [1, M]; strong renaming is the M = n special case. *)
+
+module CR = Repro_renaming.Crash_renaming
+module Runner = Repro_renaming.Runner
+module Rng = Repro_util.Rng
+
+let loose m = { CR.experiment_params with target = `Loose m }
+
+let ids_of_n ?(seed = 0) n =
+  Repro_renaming.Experiment.random_ids ~seed:(seed + 47) ~namespace:(60 * n) ~n
+
+let test_loose_basic () =
+  let n = 20 and m = 48 in
+  let ids = ids_of_n n in
+  let a = Runner.assess (CR.run ~params:(loose m) ~ids ~seed:1 ()) in
+  Alcotest.(check bool) "unique" true a.unique;
+  Alcotest.(check int) "all decide" n a.decided;
+  List.iter
+    (fun (_, v) ->
+      Alcotest.(check bool) (Printf.sprintf "new id %d within [1,%d]" v m)
+        true
+        (1 <= v && v <= m))
+    a.assignments
+
+let test_loose_equals_strong_at_m_eq_n () =
+  let n = 16 in
+  let ids = ids_of_n n in
+  let strong = Runner.assess (CR.run ~ids ~seed:2 ()) in
+  let loose_n = Runner.assess (CR.run ~params:(loose n) ~ids ~seed:2 ()) in
+  Alcotest.(check bool) "both correct" true (strong.correct && loose_n.correct);
+  Alcotest.(check (list (pair int int))) "identical assignments"
+    strong.assignments loose_n.assignments
+
+let test_loose_rejects_small_target () =
+  let ids = ids_of_n 8 in
+  Alcotest.check_raises "m < n rejected"
+    (Invalid_argument "Crash_renaming: loose target below n") (fun () ->
+      ignore (CR.run ~params:(loose 4) ~ids ~seed:3 ()))
+
+let qcheck_loose_correct_under_crashes =
+  QCheck.Test.make ~name:"loose renaming: unique within [1,M] under crashes"
+    ~count:60
+    (QCheck.make
+       ~print:(fun (n, slack, f, seed) ->
+         Printf.sprintf "n=%d M=n+%d f=%d seed=%d" n slack f seed)
+       QCheck.Gen.(
+         let* n = int_range 2 24 in
+         let* slack = int_range 0 (3 * n) in
+         let* f = int_range 0 (n - 1) in
+         let* seed = int_range 0 50_000 in
+         return (n, slack, f, seed)))
+    (fun (n, slack, f, seed) ->
+      let m = n + slack in
+      let ids = ids_of_n ~seed n in
+      let crash =
+        CR.Net.Crash.random ~rng:(Rng.of_seed (seed lxor 0xbeef)) ~f
+          ~horizon:(9 * max 1 (Repro_util.Ilog.ceil_log2 m))
+          ()
+      in
+      let a = Runner.assess (CR.run ~params:(loose m) ~ids ~crash ~seed ()) in
+      a.unique
+      && a.unfinished = 0
+      && List.for_all (fun (_, v) -> 1 <= v && v <= m) a.assignments)
+
+let suite =
+  ( "loose_renaming",
+    [
+      Alcotest.test_case "basic loose target" `Quick test_loose_basic;
+      Alcotest.test_case "loose(n) = strong" `Quick
+        test_loose_equals_strong_at_m_eq_n;
+      Alcotest.test_case "rejects M < n" `Quick test_loose_rejects_small_target;
+      QCheck_alcotest.to_alcotest qcheck_loose_correct_under_crashes;
+    ] )

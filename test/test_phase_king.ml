@@ -1,0 +1,176 @@
+(* Property tests for Lemma 3.4's Consensus instantiation: phase-king
+   among a committee under silent, equivocating and randomly lying
+   Byzantine members. *)
+
+module Engine = Repro_sim.Engine
+module PK = Repro_consensus.Phase_king
+module CN = Repro_consensus.Committee_net
+module Rng = Repro_util.Rng
+
+module M = struct
+  type t = PK.msg
+
+  let bits _ = 4
+  let pp ppf = function
+    | PK.Vote b -> Format.fprintf ppf "vote(%b)" b
+    | PK.Propose b -> Format.fprintf ppf "propose(%b)" b
+    | PK.King b -> Format.fprintf ppf "king(%b)" b
+end
+
+module Net = Engine.Make (M)
+
+let committee_net ctx members =
+  {
+    CN.me = Net.my_id ctx;
+    members;
+    exchange =
+      (fun out ->
+        List.map (fun (e : Net.envelope) -> (e.src, e.msg)) (Net.exchange ctx out));
+  }
+
+type byz_kind = Silent | Equivocate | Random_lies
+
+let byz_strategy kind ~rng ~members : Net.byz_strategy =
+ fun ~byz_id:_ ~round:_ ~inbox:_ ->
+  match kind with
+  | Silent -> []
+  | Equivocate ->
+      List.mapi
+        (fun i m ->
+          let face = i mod 2 = 0 in
+          [
+            (m, PK.Vote face); (m, PK.Propose face); (m, PK.King face);
+          ])
+        members
+      |> List.concat
+  | Random_lies ->
+      List.concat_map
+        (fun m ->
+          if Rng.bool rng then
+            [
+              ( m,
+                match Rng.int rng 3 with
+                | 0 -> PK.Vote (Rng.bool rng)
+                | 1 -> PK.Propose (Rng.bool rng)
+                | _ -> PK.King (Rng.bool rng) );
+            ]
+          else [])
+        members
+
+(* One consensus execution: returns the honest (id, output) list. *)
+let execute ~n ~byz_count ~kind ~inputs ~seed =
+  let ids = Array.init n (fun i -> (i * 13) + 2) in
+  let members = List.sort Int.compare (Array.to_list ids) in
+  let kings = List.rev members in
+  let rng = Rng.of_seed (seed lxor 0xbad) in
+  let byz_ids =
+    Array.to_list (Rng.sample_without_replacement rng byz_count ids)
+  in
+  let program ctx =
+    let net = committee_net ctx members in
+    PK.run ~net ~embed:Fun.id ~project:Option.some ~kings
+      ~input:(inputs (Net.my_id ctx))
+  in
+  let byz = (byz_ids, byz_strategy kind ~rng ~members) in
+  let res = Net.run ~ids ~byz ~seed ~program () in
+  List.filter_map
+    (function id, Engine.Decided b -> Some (id, b) | _ -> None)
+    res.Engine.outcomes
+
+let assert_agreement_validity ~honest_inputs outputs =
+  match outputs with
+  | [] -> false
+  | (_, first) :: rest ->
+      let agreement = List.for_all (fun (_, b) -> Bool.equal b first) rest in
+      let validity = List.mem first honest_inputs in
+      agreement && validity
+
+let scenario_gen =
+  QCheck.make
+    ~print:(fun (n, byz, kind, bias, seed) ->
+      Printf.sprintf "n=%d byz=%d kind=%d bias=%.2f seed=%d" n byz kind bias
+        seed)
+    QCheck.Gen.(
+      let* n = int_range 4 13 in
+      let* byz = int_range 0 ((n - 1) / 3) in
+      let* kind = int_range 0 2 in
+      let* bias = float_range 0. 1. in
+      let* seed = int_range 0 10_000 in
+      return (n, byz, kind, bias, seed))
+
+let qcheck_agreement_validity =
+  QCheck.Test.make ~name:"phase king: agreement + validity under byz"
+    ~count:120 scenario_gen (fun (n, byz_count, kind_i, bias, seed) ->
+      let kind =
+        match kind_i with 0 -> Silent | 1 -> Equivocate | _ -> Random_lies
+      in
+      let input_rng = Rng.of_seed (seed + 1) in
+      let tbl = Hashtbl.create 16 in
+      let inputs id =
+        match Hashtbl.find_opt tbl id with
+        | Some b -> b
+        | None ->
+            let b = Rng.bernoulli input_rng bias in
+            Hashtbl.replace tbl id b;
+            b
+      in
+      let outputs = execute ~n ~byz_count ~kind ~inputs ~seed in
+      let honest_inputs = List.map (fun (id, _) -> inputs id) outputs in
+      assert_agreement_validity ~honest_inputs outputs)
+
+let test_all_same_input_sticks () =
+  List.iter
+    (fun value ->
+      let outputs =
+        execute ~n:7 ~byz_count:2 ~kind:Equivocate
+          ~inputs:(fun _ -> value)
+          ~seed:3
+      in
+      Alcotest.(check int) "all honest decided" 5 (List.length outputs);
+      List.iter
+        (fun (_, b) ->
+          Alcotest.(check bool) "unanimous input preserved" value b)
+        outputs)
+    [ true; false ]
+
+let test_rounds_needed () =
+  (* n=7 -> t=2 -> 3 phases of 3 rounds. *)
+  Alcotest.(check int) "rounds for 7" 9 (PK.rounds_needed ~committee_size:7);
+  Alcotest.(check int) "rounds for 4" 6 (PK.rounds_needed ~committee_size:4);
+  let ids = [| 1; 2; 3; 4; 5; 6; 7 |] in
+  let members = Array.to_list ids in
+  let program ctx =
+    let net = committee_net ctx members in
+    let before = Net.round ctx in
+    let out =
+      PK.run ~net ~embed:Fun.id ~project:Option.some ~kings:members
+        ~input:(Net.my_id ctx mod 2 = 0)
+    in
+    (out, Net.round ctx - before)
+  in
+  let res = Net.run ~ids ~program () in
+  List.iter
+    (function
+      | _, Engine.Decided (_, rounds) ->
+          Alcotest.(check int) "consumes exactly rounds_needed" 9 rounds
+      | _ -> Alcotest.fail "should decide")
+    res.Engine.outcomes
+
+let test_no_kings_rejected () =
+  let ids = [| 1; 2; 3; 4 |] in
+  let program ctx =
+    let net = committee_net ctx (Array.to_list ids) in
+    PK.run ~net ~embed:Fun.id ~project:Option.some ~kings:[] ~input:true
+  in
+  Alcotest.check_raises "no kings" (Invalid_argument "Phase_king.run: no kings")
+    (fun () -> ignore (Net.run ~ids ~program ()))
+
+let suite =
+  ( "phase_king",
+    [
+      Alcotest.test_case "unanimous input preserved" `Quick
+        test_all_same_input_sticks;
+      Alcotest.test_case "round accounting" `Quick test_rounds_needed;
+      Alcotest.test_case "kings required" `Quick test_no_kings_rejected;
+      QCheck_alcotest.to_alcotest qcheck_agreement_validity;
+    ] )

@@ -1,0 +1,98 @@
+module Rng = Repro_util.Rng
+module Splitmix = Repro_util.Splitmix
+
+let test_determinism () =
+  let a = Rng.of_seed 42 and b = Rng.of_seed 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_split_independence () =
+  let parent = Rng.of_seed 7 in
+  let child = Rng.split parent in
+  let xs = List.init 32 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_copy () =
+  let sm = Splitmix.create 5L in
+  ignore (Splitmix.next sm);
+  let dup = Splitmix.copy sm in
+  Alcotest.(check int64) "copy continues identically" (Splitmix.next sm)
+    (Splitmix.next dup)
+
+let qcheck_int_range =
+  QCheck.Test.make ~name:"int within bound" ~count:1000
+    QCheck.(pair (int_range 1 10_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.of_seed seed in
+      let v = Rng.int rng bound in
+      0 <= v && v < bound)
+
+let qcheck_int_in =
+  QCheck.Test.make ~name:"int_in within inclusive range" ~count:1000
+    QCheck.(triple (int_range (-50) 50) (int_range 0 100) small_int)
+    (fun (lo, span, seed) ->
+      let rng = Rng.of_seed seed in
+      let v = Rng.int_in rng lo (lo + span) in
+      lo <= v && v <= lo + span)
+
+let qcheck_bernoulli_extremes =
+  QCheck.Test.make ~name:"bernoulli extremes" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.of_seed seed in
+      (not (Rng.bernoulli rng 0.)) && Rng.bernoulli rng 1.)
+
+let test_bernoulli_frequency () =
+  let rng = Rng.of_seed 9 in
+  let hits = ref 0 in
+  let trials = 20_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "frequency %.3f near 0.3" freq)
+    true
+    (abs_float (freq -. 0.3) < 0.02)
+
+let test_shuffle_permutes () =
+  let rng = Rng.of_seed 3 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.of_seed 4 in
+  let arr = Array.init 50 (fun i -> i) in
+  let s = Rng.sample_without_replacement rng 20 arr in
+  Alcotest.(check int) "size" 20 (Array.length s);
+  let uniq = List.sort_uniq Int.compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 20 (List.length uniq);
+  let over = Rng.sample_without_replacement rng 500 arr in
+  Alcotest.(check int) "clamped to population" 50 (Array.length over)
+
+let test_float_range () =
+  let rng = Rng.of_seed 12 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "split independence" `Quick test_split_independence;
+      Alcotest.test_case "splitmix copy" `Quick test_copy;
+      Alcotest.test_case "bernoulli frequency" `Quick test_bernoulli_frequency;
+      Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+      Alcotest.test_case "sample without replacement" `Quick
+        test_sample_without_replacement;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      QCheck_alcotest.to_alcotest qcheck_int_range;
+      QCheck_alcotest.to_alcotest qcheck_int_in;
+      QCheck_alcotest.to_alcotest qcheck_bernoulli_extremes;
+    ] )

@@ -1,0 +1,102 @@
+module Runner = Repro_renaming.Runner
+module Metrics = Repro_sim.Metrics
+module Engine = Repro_sim.Engine
+
+let mk_result outcomes =
+  { Engine.outcomes; metrics = Metrics.create () }
+
+let test_assess_clean () =
+  let a =
+    Runner.assess
+      (mk_result
+         [ (10, Engine.Decided 2); (20, Engine.Decided 1); (30, Engine.Decided 3) ])
+  in
+  Alcotest.(check bool) "unique" true a.unique;
+  Alcotest.(check bool) "strong" true a.strong;
+  Alcotest.(check bool) "correct" true a.correct;
+  Alcotest.(check bool) "not order preserving (10->2 but 20->1)" false
+    a.order_preserving;
+  Alcotest.(check (list (pair int int))) "sorted by original"
+    [ (10, 2); (20, 1); (30, 3) ] a.assignments
+
+let test_assess_duplicate () =
+  let a =
+    Runner.assess
+      (mk_result [ (1, Engine.Decided 1); (2, Engine.Decided 1) ])
+  in
+  Alcotest.(check bool) "duplicate detected" false a.unique;
+  Alcotest.(check bool) "hence incorrect" false a.correct
+
+let test_assess_not_strong () =
+  let a =
+    Runner.assess
+      (mk_result [ (1, Engine.Decided 1); (2, Engine.Decided 5) ])
+  in
+  Alcotest.(check bool) "unique still" true a.unique;
+  Alcotest.(check bool) "5 outside [1,2]" false a.strong
+
+let test_assess_mixed_outcomes () =
+  let a =
+    Runner.assess
+      (mk_result
+         [
+           (1, Engine.Decided 1);
+           (2, Engine.Crashed 4);
+           (3, Engine.Byzantine);
+           (4, Engine.Unfinished);
+         ])
+  in
+  Alcotest.(check int) "decided" 1 a.decided;
+  Alcotest.(check int) "crashed" 1 a.crashed;
+  Alcotest.(check int) "byzantine" 1 a.byzantine;
+  Alcotest.(check int) "unfinished" 1 a.unfinished;
+  Alcotest.(check bool) "unfinished means incorrect" false a.correct;
+  Alcotest.(check int) "n counts everyone" 4 a.n
+
+let test_assess_order_preserving () =
+  let a =
+    Runner.assess
+      (mk_result
+         [ (5, Engine.Decided 1); (9, Engine.Decided 2); (70, Engine.Decided 3) ])
+  in
+  Alcotest.(check bool) "order preserving" true a.order_preserving
+
+let test_metrics_accounting () =
+  let m = Metrics.create () in
+  Metrics.add_honest m ~bits:10;
+  Metrics.add_honest m ~bits:20;
+  Metrics.end_round m;
+  Metrics.add_byz m ~bits:99;
+  Metrics.add_honest m ~bits:5;
+  Metrics.end_round m;
+  Metrics.record_crash m;
+  Alcotest.(check int) "honest messages" 3 m.honest_messages;
+  Alcotest.(check int) "honest bits" 35 m.honest_bits;
+  Alcotest.(check int) "byz messages" 1 m.byz_messages;
+  Alcotest.(check int) "byz bits" 99 m.byz_bits;
+  Alcotest.(check int) "rounds" 2 m.rounds;
+  Alcotest.(check int) "crashes" 1 m.crashes;
+  Alcotest.(check (array int)) "per-round profile" [| 2; 1 |]
+    (Metrics.messages_by_round m)
+
+let test_two_metrics_independent () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add_honest a ~bits:1;
+  Metrics.end_round a;
+  Metrics.end_round b;
+  Alcotest.(check (array int)) "a profile" [| 1 |] (Metrics.messages_by_round a);
+  Alcotest.(check (array int)) "b profile" [| 0 |] (Metrics.messages_by_round b)
+
+let suite =
+  ( "runner_metrics",
+    [
+      Alcotest.test_case "assess clean run" `Quick test_assess_clean;
+      Alcotest.test_case "assess duplicate" `Quick test_assess_duplicate;
+      Alcotest.test_case "assess not strong" `Quick test_assess_not_strong;
+      Alcotest.test_case "assess mixed outcomes" `Quick
+        test_assess_mixed_outcomes;
+      Alcotest.test_case "assess order" `Quick test_assess_order_preserving;
+      Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+      Alcotest.test_case "metrics instances independent" `Quick
+        test_two_metrics_independent;
+    ] )

@@ -1,0 +1,50 @@
+module S = Repro_util.Stats
+
+let close = Alcotest.(check (float 1e-9))
+
+let test_summary () =
+  let s = S.summarize [ 1.; 2.; 3.; 4. ] in
+  close "mean" 2.5 s.S.mean;
+  close "min" 1. s.S.min;
+  close "max" 4. s.S.max;
+  close "median" 2.5 s.S.median;
+  Alcotest.(check int) "n" 4 s.S.n;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (S.summarize []))
+
+let test_percentile () =
+  let xs = [ 10.; 20.; 30.; 40.; 50. ] in
+  close "p0" 10. (S.percentile xs 0.);
+  close "p50" 30. (S.percentile xs 50.);
+  close "p100" 50. (S.percentile xs 100.);
+  close "p25" 20. (S.percentile xs 25.)
+
+let test_linear_fit () =
+  let slope, intercept = S.linear_fit [ (1., 3.); (2., 5.); (3., 7.) ] in
+  close "slope" 2. slope;
+  close "intercept" 1. intercept
+
+let test_log_log_slope () =
+  (* y = 4 x^2: slope 2 on log-log *)
+  let pts = List.init 10 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 4. *. (x ** 2.)))
+  in
+  Alcotest.(check (float 1e-6)) "quadratic slope" 2. (S.log_log_slope pts)
+
+let qcheck_mean_bounds =
+  QCheck.Test.make ~name:"mean within min/max" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = S.summarize xs in
+      s.S.min <= s.S.mean +. 1e-9 && s.S.mean <= s.S.max +. 1e-9)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "summarize" `Quick test_summary;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "linear fit" `Quick test_linear_fit;
+      Alcotest.test_case "log-log slope" `Quick test_log_log_slope;
+      QCheck_alcotest.to_alcotest qcheck_mean_bounds;
+    ] )

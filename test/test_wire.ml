@@ -1,0 +1,99 @@
+module W = Repro_sim.Wire
+
+let test_bits_roundtrip () =
+  let w = W.Writer.create () in
+  List.iter (W.Writer.add_bit w) [ true; false; true; true; false ];
+  Alcotest.(check int) "bit length" 5 (W.Writer.bit_length w);
+  let r = W.Reader.of_string (W.Writer.contents w) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) "bit value" expected (W.Reader.read_bit r))
+    [ true; false; true; true; false ]
+
+let test_fixed_roundtrip () =
+  List.iter
+    (fun (v, width) ->
+      Alcotest.(check int)
+        (Printf.sprintf "fixed %d/%d" v width)
+        v
+        (W.roundtrip_fixed v ~width))
+    [ (0, 1); (1, 1); (5, 3); (255, 8); (256, 9); (12345, 20); (0, 0) ]
+
+let test_fixed_rejects () =
+  let w = W.Writer.create () in
+  Alcotest.check_raises "value too large"
+    (Invalid_argument "Wire.Writer.add_fixed: value does not fit") (fun () ->
+      W.Writer.add_fixed w 8 ~width:3);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Wire.Writer.add_fixed: value does not fit") (fun () ->
+      W.Writer.add_fixed w (-1) ~width:3)
+
+let test_gamma_values () =
+  Alcotest.(check int) "gamma_bits 0" 1 (W.gamma_bits 0);
+  Alcotest.(check int) "gamma_bits 1" 3 (W.gamma_bits 1);
+  Alcotest.(check int) "gamma_bits 2" 3 (W.gamma_bits 2);
+  Alcotest.(check int) "gamma_bits 3" 5 (W.gamma_bits 3);
+  Alcotest.(check int) "gamma_bits 6" 5 (W.gamma_bits 6);
+  Alcotest.(check int) "gamma_bits 7" 7 (W.gamma_bits 7)
+
+let test_out_of_bits () =
+  let r = W.Reader.of_string "" in
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Wire.Reader: out of bits") (fun () ->
+      ignore (W.Reader.read_bit r))
+
+let qcheck_gamma_roundtrip =
+  QCheck.Test.make ~name:"gamma roundtrip + exact cost" ~count:1000
+    QCheck.(int_bound 1_000_000_000)
+    (fun v ->
+      let w = W.Writer.create () in
+      W.Writer.add_gamma w v;
+      let exact = W.Writer.bit_length w = W.gamma_bits v in
+      let r = W.Reader.of_string (W.Writer.contents w) in
+      W.Reader.read_gamma r = v && exact)
+
+let qcheck_mixed_stream =
+  (* Interleave fixed, gamma and single-bit writes and read them back. *)
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          (let* v = int_range 0 1023 in
+           return (`Fixed (v, 10)));
+          (let* v = int_range 0 100_000 in
+           return (`Gamma v));
+          (let* b = bool in
+           return (`Bit b));
+        ])
+  in
+  QCheck.Test.make ~name:"mixed stream roundtrip" ~count:300
+    (QCheck.make
+       ~print:(fun ops -> Printf.sprintf "%d ops" (List.length ops))
+       QCheck.Gen.(list_size (int_range 1 40) op_gen))
+    (fun ops ->
+      let w = W.Writer.create () in
+      List.iter
+        (function
+          | `Fixed (v, width) -> W.Writer.add_fixed w v ~width
+          | `Gamma v -> W.Writer.add_gamma w v
+          | `Bit b -> W.Writer.add_bit w b)
+        ops;
+      let r = W.Reader.of_string (W.Writer.contents w) in
+      List.for_all
+        (function
+          | `Fixed (v, width) -> W.Reader.read_fixed r ~width = v
+          | `Gamma v -> W.Reader.read_gamma r = v
+          | `Bit b -> Bool.equal (W.Reader.read_bit r) b)
+        ops)
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "bit roundtrip" `Quick test_bits_roundtrip;
+      Alcotest.test_case "fixed roundtrip" `Quick test_fixed_roundtrip;
+      Alcotest.test_case "fixed rejects bad values" `Quick test_fixed_rejects;
+      Alcotest.test_case "gamma costs" `Quick test_gamma_values;
+      Alcotest.test_case "reader exhaustion" `Quick test_out_of_bits;
+      QCheck_alcotest.to_alcotest qcheck_gamma_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_mixed_stream;
+    ] )
