@@ -1,0 +1,122 @@
+(* Engine hot-path benchmark: rounds/sec and allocation for the two
+   paths every experiment exercises — the no-fault run and the
+   committee-killer run (E2's adversary). Deliberately built on the
+   public [Experiment] API only, so the same binary measures any engine
+   implementation and successive PRs can track the trajectory.
+
+   Usage:
+     dune exec bench/engine_bench.exe                 # full sweep
+     dune exec bench/engine_bench.exe -- --smoke      # CI smoke mode
+     dune exec bench/engine_bench.exe -- --out F.json # write JSON to F
+
+   The JSON report (default BENCH_engine.json in the working directory)
+   is a flat list of measurements; the committed BENCH_engine.json at
+   the repo root additionally keeps the pre-overhaul numbers for
+   comparison. *)
+
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+
+type measurement = {
+  path : string;  (* "no-fault" | "committee-killer" *)
+  n : int;
+  runs : int;
+  wall_s : float;
+  rounds : int;  (* total across [runs] *)
+  messages : int;
+  rounds_per_sec : float;
+  alloc_mwords : float;  (* words allocated per run, in millions *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let adversary_of_path ~n = function
+  | "no-fault" -> E.No_crash
+  | "committee-killer" -> E.Committee_killer (n / 4)
+  | p -> invalid_arg ("engine_bench: unknown path " ^ p)
+
+let one_run ~path ~n ~seed =
+  E.run_crash ~protocol:E.This_work_crash ~n ~namespace:(64 * n)
+    ~adversary:(adversary_of_path ~n path) ~seed ()
+
+let measure ~path ~n ~runs =
+  (* Warm-up run: page in code, stabilise the GC, and sanity-check the
+     execution before the timed loop. *)
+  let warm = one_run ~path ~n ~seed:41 in
+  if not warm.Runner.correct then
+    failwith (Printf.sprintf "engine_bench: incorrect run (%s n=%d)" path n);
+  Gc.full_major ();
+  let allocated_words () =
+    let s = Gc.quick_stat () in
+    s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+  in
+  let words0 = allocated_words () in
+  let t0 = now () in
+  let rounds = ref 0 and messages = ref 0 in
+  for i = 1 to runs do
+    let a = one_run ~path ~n ~seed:(41 + i) in
+    rounds := !rounds + a.Runner.rounds;
+    messages := !messages + a.Runner.messages
+  done;
+  let wall_s = now () -. t0 in
+  let words1 = allocated_words () in
+  {
+    path;
+    n;
+    runs;
+    wall_s;
+    rounds = !rounds;
+    messages = !messages;
+    rounds_per_sec = float_of_int !rounds /. wall_s;
+    alloc_mwords = (words1 -. words0) /. float_of_int runs /. 1e6;
+  }
+
+let json_of_measurement m =
+  Printf.sprintf
+    {|    {"path": "%s", "n": %d, "runs": %d, "wall_s": %.4f, "rounds": %d, "messages": %d, "rounds_per_sec": %.1f, "alloc_mwords_per_run": %.3f}|}
+    m.path m.n m.runs m.wall_s m.rounds m.messages m.rounds_per_sec
+    m.alloc_mwords
+
+let write_json ~out ~mode ms =
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"engine-bench/v1\",\n  \"mode\": \"%s\",\n  \
+     \"measurements\": [\n%s\n  ]\n}\n"
+    mode
+    (String.concat ",\n" (List.map json_of_measurement ms));
+  close_out oc
+
+let () =
+  Repro_renaming.Parallel.tune_gc ();
+  let smoke = ref false and out = ref "BENCH_engine.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | a :: _ -> invalid_arg ("engine_bench: unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let configs =
+    if !smoke then [ (64, 3) ]
+    else [ (128, 8); (256, 5); (512, 3); (2048, 1) ]
+  in
+  let ms =
+    List.concat_map
+      (fun (n, runs) ->
+        List.map
+          (fun path ->
+            let m = measure ~path ~n ~runs in
+            Printf.printf
+              "%-16s n=%-5d %8.1f rounds/s  %10.2f Mwords/run  (%d runs, \
+               %.2f s)\n%!"
+              m.path m.n m.rounds_per_sec m.alloc_mwords m.runs m.wall_s;
+            m)
+          [ "no-fault"; "committee-killer" ])
+      configs
+  in
+  write_json ~out:!out ~mode:(if !smoke then "smoke" else "full") ms;
+  Printf.printf "wrote %s\n" !out

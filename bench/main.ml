@@ -543,8 +543,24 @@ let bechamel_tests () =
            E.run_crash ~protocol:E.Flooding_baseline ~n:64 ~namespace:4096
              ~adversary:E.No_crash ~seed:802 ()))
   in
+  let parallel_trials_test =
+    (* Exercises the domain fan-out of the trial runner end-to-end; the
+       aggregates are bit-identical for any [--domains] value. *)
+    Test.make ~name:"averaged 4 trials via parallel runner (n=64)"
+      (Staged.stage (fun () ->
+           E.averaged ~trials:4 ~seed:803 (fun ~seed ->
+               E.run_crash ~protocol:E.This_work_crash ~n:64 ~namespace:4096
+                 ~adversary:E.No_crash ~seed ())))
+  in
   Test.make_grouped ~name:"renaming"
-    [ fingerprint_test; rank_test; crash_test; byz_test; flooding_test ]
+    [
+      fingerprint_test;
+      rank_test;
+      crash_test;
+      byz_test;
+      flooding_test;
+      parallel_trials_test;
+    ]
 
 let run_bechamel () =
   let open Bechamel in
@@ -569,6 +585,18 @@ let run_bechamel () =
     results
 
 let () =
+  (* --domains N pins the trial runner's domain count (default: see
+     Parallel.default_domains). Results are identical either way; only
+     the wall-clock changes. *)
+  let rec parse = function
+    | [] -> ()
+    | "--domains" :: d :: rest ->
+        Repro_renaming.Parallel.set_domains (int_of_string d);
+        parse rest
+    | a :: _ -> invalid_arg ("bench/main: unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Repro_renaming.Parallel.tune_gc ();
   let t0 = Sys.time () in
   table1 ();
   fig2_crash_f_sweep ();

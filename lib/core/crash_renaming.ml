@@ -116,16 +116,17 @@ type state = {
   mutable elected : bool;
 }
 
-type status = { s_src : int; s_id : int; s_iv : Interval.t; s_d : int; s_p : int }
-
-let statuses_of_inbox inbox =
-  List.filter_map
-    (fun (e : Net.envelope) ->
+(* The committee-side folds below run straight over the inbox envelopes
+   and re-match [Msg.Status] in each pass: with hundreds of reporters per
+   member and a committee of the same order, an intermediate record per
+   status is the dominant allocation of the whole simulation. *)
+let fold_statuses f acc inbox =
+  List.fold_left
+    (fun acc (e : Net.envelope) ->
       match e.msg with
-      | Msg.Status { id; iv; d; p } ->
-          Some { s_src = e.src; s_id = id; s_iv = iv; s_d = d; s_p = p }
-      | Msg.Notify | Msg.Response _ -> None)
-    inbox
+      | Msg.Status { id; iv; d; p } -> f acc ~src:e.src ~id ~iv ~d ~p
+      | Msg.Notify | Msg.Response _ -> acc)
+    acc inbox
 
 (* Figure 2: the verdicts a committee member sends back, one per status
    received. Halving only touches reporters at the minimum depth; for
@@ -135,91 +136,166 @@ let statuses_of_inbox inbox =
    otherwise right. This rule keeps the "at most |I| nodes inside any
    interval I" invariant (Lemma 2.3) even when different members answer
    from different views. *)
-let committee_action st statuses =
-  match statuses with
-  | [] -> []
-  | _ ->
-      let d_min =
-        List.fold_left (fun acc s -> min acc s.s_d) max_int statuses
-      in
-      List.map
-        (fun w ->
-          let verdict =
-            if w.s_d <> d_min then
-              Msg.Response { id = w.s_id; iv = w.s_iv; d = w.s_d; p = st.pv }
-            else if Interval.is_singleton w.s_iv then
-              (* A decided node: nothing left to halve; bump its depth so
-                 it stops defining the minimum. *)
-              Msg.Response
-                { id = w.s_id; iv = w.s_iv; d = w.s_d + 1; p = st.pv }
+(* Verdict groups: one per distinct interval reported at the minimum
+   depth (decided singletons excluded) -- the only intervals whose rank
+   and |B| the halving rule ever queries.  A committee-killer inbox
+   carries hundreds of distinct decided singletons but only a handful
+   of active minimum-depth intervals (~9 measured at n = 256), so the
+   per-call index is a short list scanned linearly: no hashing, and no
+   allocation beyond the id lists themselves. *)
+type vgroup = {
+  g_key : int;  (* packed interval of the group *)
+  g_bot : Interval.t;
+  g_bot_size : int;
+  mutable g_ids : int list;  (* reporters of exactly this interval *)
+  mutable g_sorted : int array;  (* [||] until the first rank query *)
+  mutable g_b : int;  (* #statuses with iv inside [g_bot] *)
+}
+
+(* Namespaces stay far below 2^31, so an interval packs into one int. *)
+let key_of (iv : Interval.t) = (iv.Interval.lo lsl 31) lor iv.Interval.hi
+
+let committee_action st inbox =
+  let d_min =
+    fold_statuses
+      (fun acc ~src:_ ~id:_ ~iv:_ ~d ~p:_ -> min acc d)
+      max_int inbox
+  in
+  if d_min = max_int then [] (* no status in the inbox *)
+  else begin
+    let groups =
+      fold_statuses
+        (fun acc ~src:_ ~id:_ ~iv ~d ~p:_ ->
+          if d <> d_min || Interval.is_singleton iv then acc
+          else
+            let key = key_of iv in
+            if List.exists (fun g -> g.g_key = key) acc then acc
             else
-              let same_interval =
-                List.filter (fun u -> Interval.equal u.s_iv w.s_iv) statuses
+              let bot = Interval.bot iv in
+              {
+                g_key = key;
+                g_bot = bot;
+                g_bot_size = Interval.size bot;
+                g_ids = [];
+                g_sorted = [||];
+                g_b = 0;
+              }
+              :: acc)
+        [] inbox
+    in
+    let garr = Array.of_list groups in
+    let ng = Array.length garr in
+    (* One sweep fills every group: a status joins a group's reporter
+       list if it reports exactly the group's interval (whatever its
+       depth -- ranks count all of them), and bumps the group's |B| if
+       its interval sits inside the group's bottom half.  The two
+       cases are exclusive for any single group. *)
+    fold_statuses
+      (fun () ~src:_ ~id ~iv ~d:_ ~p:_ ->
+        let key = key_of iv in
+        for j = 0 to ng - 1 do
+          let g = Array.unsafe_get garr j in
+          if g.g_key = key then g.g_ids <- id :: g.g_ids
+          else if Interval.subset iv g.g_bot then g.g_b <- g.g_b + 1
+        done)
+      () inbox;
+    let rec find_g j key =
+      let g = Array.unsafe_get garr j in
+      if g.g_key = key then g else find_g (j + 1) key
+    in
+    let rank_in g id =
+      (* #{reporters of the group''s interval with identity <= [id]} *)
+      if Array.length g.g_sorted = 0 then begin
+        let a = Array.of_list g.g_ids in
+        Array.sort Int.compare a;
+        g.g_sorted <- a
+      end;
+      let a = g.g_sorted in
+      let lo = ref 0 and hi = ref (Array.length a) in
+      while !lo < !hi do
+        let m = (!lo + !hi) / 2 in
+        if a.(m) <= id then lo := m + 1 else hi := m
+      done;
+      !lo
+    in
+    (* One verdict per status, in inbox order (recursion depth is at
+       most the number of reporters, i.e. bounded by [n]). *)
+    let rec verdicts = function
+      | [] -> []
+      | (e : Net.envelope) :: rest -> (
+          match e.msg with
+          | Msg.Status { id; iv; d; p = _ } ->
+              let verdict =
+                if d <> d_min then Msg.Response { id; iv; d; p = st.pv }
+                else if Interval.is_singleton iv then
+                  (* A decided node: nothing left to halve; bump its
+                     depth so it stops defining the minimum. *)
+                  Msg.Response { id; iv; d = d + 1; p = st.pv }
+                else
+                  let g = find_g 0 (key_of iv) in
+                  if g.g_b + rank_in g id <= g.g_bot_size then
+                    Msg.Response { id; iv = g.g_bot; d = d + 1; p = st.pv }
+                  else
+                    Msg.Response
+                      { id; iv = Interval.top iv; d = d + 1; p = st.pv }
               in
-              let rank =
-                List.length
-                  (List.filter (fun u -> u.s_id <= w.s_id) same_interval)
-              in
-              let bot = Interval.bot w.s_iv in
-              let b_count =
-                List.length
-                  (List.filter (fun u -> Interval.subset u.s_iv bot) statuses)
-              in
-              if b_count + rank <= Interval.size bot then
-                Msg.Response { id = w.s_id; iv = bot; d = w.s_d + 1; p = st.pv }
-              else
-                Msg.Response
-                  {
-                    id = w.s_id;
-                    iv = Interval.top w.s_iv;
-                    d = w.s_d + 1;
-                    p = st.pv;
-                  }
-          in
-          (w.s_src, verdict))
-        statuses
+              (e.src, verdict) :: verdicts rest
+          | Msg.Notify | Msg.Response _ -> verdicts rest)
+    in
+    verdicts inbox
+  end
 
 (* Figure 3: adopt the deepest (then leftmost) committee verdict; on
    committee silence, escalate p and maybe self-elect. *)
+
 let node_action params ~n rng st inbox =
-  let responses =
-    List.filter_map
-      (fun (e : Net.envelope) ->
-        match e.msg with
-        | Msg.Response { id; iv; d; p } -> Some (id, iv, d, p)
-        | Msg.Notify | Msg.Status _ -> None)
-      inbox
-  in
   let self_elect () =
     if not st.elected then
       st.elected <-
         Rng.bernoulli rng (election_probability params ~n ~p:st.pv)
   in
-  match responses with
-  | [] ->
-      st.pv <- st.pv + 1;
+  (* One pass over the envelopes, no intermediate tuples: the deepest,
+     then leftmost verdict (first occurrence wins ties — the same
+     element a stable sort would put first) and the maximum escalation
+     level seen. *)
+  let found = ref false in
+  let best_iv = ref st.iv and best_d = ref 0 and p_hat = ref min_int in
+  List.iter
+    (fun (e : Net.envelope) ->
+      match e.msg with
+      | Msg.Response { id = _; iv; d; p } ->
+          if not !found then begin
+            found := true;
+            best_iv := iv;
+            best_d := d;
+            p_hat := p
+          end
+          else begin
+            if
+              d > !best_d
+              || (d = !best_d && iv.Interval.lo < (!best_iv).Interval.lo)
+            then begin
+              best_iv := iv;
+              best_d := d
+            end;
+            if p > !p_hat then p_hat := p
+          end
+      | Msg.Notify | Msg.Status _ -> ())
+    inbox;
+  if not !found then begin
+    st.pv <- st.pv + 1;
+    self_elect ()
+  end
+  else begin
+    if not (Interval.is_singleton st.iv) then begin
+      st.dv <- !best_d;
+      st.iv <- !best_iv
+    end;
+    if !p_hat > st.pv then begin
+      st.pv <- !p_hat;
       self_elect ()
-  | _ ->
-      let sorted =
-        List.sort
-          (fun (_, iv1, d1, _) (_, iv2, d2, _) ->
-            match Int.compare d2 d1 with
-            | 0 -> Int.compare iv1.Interval.lo iv2.Interval.lo
-            | c -> c)
-          responses
-      in
-      let _, iv1, d1, _ = List.hd sorted in
-      if not (Interval.is_singleton st.iv) then begin
-        st.dv <- d1;
-        st.iv <- iv1
-      end;
-      let p_hat =
-        List.fold_left (fun acc (_, _, _, p) -> max acc p) min_int responses
-      in
-      if p_hat > st.pv then begin
-        st.pv <- p_hat;
-        self_elect ()
-      end
+    end
+  end
 
 type telemetry = {
   on_phase_end :
@@ -235,10 +311,8 @@ type telemetry = {
 let program ?telemetry params ctx =
   let n = Net.n ctx in
   let rng = Net.rng ctx in
-  let st =
-    { iv = Interval.full (target_size params ~n); dv = 0; pv = 0;
-      elected = false }
-  in
+  let full_iv = Interval.full (target_size params ~n) in
+  let st = { iv = full_iv; dv = 0; pv = 0; elected = false } in
   st.elected <- Rng.bernoulli rng (election_probability params ~n ~p:0);
   for phase = 1 to phases params ~n do
     (* Round 1: committee announcement. *)
@@ -253,19 +327,21 @@ let program ?telemetry params ctx =
           | Msg.Status _ | Msg.Response _ -> None)
         inbox1
     in
-    (* Round 2: report status to every announced committee member. *)
+    (* Round 2: report status to every announced committee member — one
+       message value fanned out by the engine. *)
     let my_status =
       Msg.Status { id = Net.my_id ctx; iv = st.iv; d = st.dv; p = st.pv }
     in
-    let inbox2 = Net.exchange ctx (List.map (fun c -> (c, my_status)) committee) in
-    let statuses = if st.elected then statuses_of_inbox inbox2 else [] in
-    if st.elected then begin
-      match statuses with
-      | [] -> ()
-      | _ -> st.pv <- List.fold_left (fun acc s -> max acc s.s_p) st.pv statuses
-    end;
+    let inbox2 = Net.multisend ctx ~dsts:committee my_status in
+    if st.elected then
+      st.pv <-
+        fold_statuses
+          (fun acc ~src:_ ~id:_ ~iv:_ ~d:_ ~p -> max acc p)
+          st.pv inbox2;
     (* Round 3: committee verdicts out, node reaction in. *)
-    let out3 = if st.elected then committee_action st statuses else [] in
+    let out3 =
+      if st.elected then committee_action st inbox2 else []
+    in
     let inbox3 = Net.exchange ctx out3 in
     node_action params ~n rng st inbox3;
     (* Ablation: the paper re-elects only after committee silence or a p

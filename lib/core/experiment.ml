@@ -242,9 +242,9 @@ let print_table ~title ~header ~rows =
   print_endline (String.make (String.length (line header)) '-');
   List.iter (fun r -> print_endline (line r)) rows
 
-let averaged ~trials ~seed run =
+let averaged ?domains ~trials ~seed run =
   let assessments =
-    List.init trials (fun i -> run ~seed:(seed + (i * 7919)))
+    Parallel.map_list ?domains trials (fun i -> run ~seed:(seed + (i * 7919)))
   in
   List.iter
     (fun (a : Runner.assessment) ->

@@ -75,7 +75,13 @@ val print_table :
     dash/colon) for plotting. *)
 
 val averaged :
+  ?domains:int ->
   trials:int -> seed:int -> (seed:int -> Runner.assessment) ->
   Runner.assessment * float * float * float
 (** Run [trials] seeds; return the last assessment plus the mean rounds,
-    messages and bits across trials. Raises if any trial is incorrect. *)
+    messages and bits across trials. Raises if any trial is incorrect.
+
+    Trials are fanned across [domains] OCaml domains (default
+    {!Parallel.default_domains}) by {!Parallel.map_list}: the seed
+    schedule [seed + i * 7919] and the returned aggregates are
+    bit-identical for every domain count. *)

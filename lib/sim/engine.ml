@@ -11,6 +11,8 @@ type 'r run_result = {
 
 exception Max_rounds_exceeded of int
 
+(* TEMP instrumentation *)
+
 module type MSG = sig
   type t
 
@@ -34,14 +36,21 @@ module Make (M : MSG) = struct
   let round ctx = !(ctx.current_round)
   let rng ctx = ctx.node_rng
 
-  type _ Effect.t += Exchange : (int * M.t) list -> envelope list Effect.t
+  (* A round's sends. [Broadcast] and [Multisend] are the hot paths:
+     one message value fanned out by the engine, so emitting them is
+     O(1) in allocated message structure and their size is accounted
+     once instead of per recipient. *)
+  type outbox =
+    | Unicast of (int * M.t) list
+    | Multisend of int list * M.t
+    | Broadcast of M.t
 
-  let exchange _ctx outbox = Effect.perform (Exchange outbox)
+  type _ Effect.t += Exchange : outbox -> envelope list Effect.t
 
-  let broadcast ctx m =
-    exchange ctx (Array.to_list (Array.map (fun dst -> (dst, m)) ctx.ids))
-
-  let skip_round _ctx = Effect.perform (Exchange [])
+  let exchange _ctx outbox = Effect.perform (Exchange (Unicast outbox))
+  let multisend _ctx ~dsts m = Effect.perform (Exchange (Multisend (dsts, m)))
+  let broadcast _ctx m = Effect.perform (Exchange (Broadcast m))
+  let skip_round _ctx = Effect.perform (Exchange (Unicast []))
 
   type observation = {
     obs_round : int;
@@ -61,7 +70,7 @@ module Make (M : MSG) = struct
      its inbox. *)
   type 'r step =
     | Done of 'r
-    | Yield of (int * M.t) list * (envelope list, 'r step) Effect.Deep.continuation
+    | Yield of outbox * (envelope list, 'r step) Effect.Deep.continuation
 
   let start_fiber program ctx : 'r step =
     Effect.Deep.match_with
@@ -80,182 +89,366 @@ module Make (M : MSG) = struct
             | _ -> None);
       }
 
-  (* Per-node runtime state, keyed by identity. *)
+  (* Per-node runtime state, indexed by slot (position in [ids]). A
+     [Running] state always holds a [Yield]: [Done] steps are folded
+     into [Finished] at fiber start and at every resume. *)
   type 'r node_state =
     | Running of 'r step
     | Finished of 'r
     | Dead of int
     | Byz_node
 
-  let run ~ids ?byz ?(crash = fun _ -> []) ?(max_rounds = 100_000) ?(seed = 1)
+  (* The default adversary, recognized physically in [run] so that
+     no-fault executions skip observation construction entirely. *)
+  let no_crash : crash_adversary = fun _ -> []
+
+  let run ~ids ?byz ?(crash = no_crash) ?(max_rounds = 100_000) ?(seed = 1)
       ~program () =
     let n = Array.length ids in
-    let module Iset = Set.Make (Int) in
-    if Iset.cardinal (Iset.of_list (Array.to_list ids)) <> n then
-      invalid_arg "Engine.run: duplicate identities";
-    let byz_ids, byz_strategy =
+    (* Dense slot indexing: one id → slot table built at start; all
+       per-node state lives in arrays indexed by slot. *)
+    let slot_of : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun s id ->
+        if Hashtbl.mem slot_of id then
+          invalid_arg "Engine.run: duplicate identities";
+        Hashtbl.add slot_of id s)
+      ids;
+    (* For the usual compact namespaces the id → slot map is a direct
+       array lookup; the hashtable stays as fallback for exotic ids. *)
+    let max_id = Array.fold_left max min_int ids in
+    let min_id = Array.fold_left min max_int ids in
+    let dense = n > 0 && min_id >= 0 && max_id < 8_388_608 in
+    let slot_arr =
+      if not dense then [||]
+      else begin
+        let a = Array.make (max_id + 1) (-1) in
+        Array.iteri (fun s id -> a.(id) <- s) ids;
+        a
+      end
+    in
+    let find_slot id =
+      if dense then if id >= 0 && id <= max_id then slot_arr.(id) else -1
+      else match Hashtbl.find_opt slot_of id with Some s -> s | None -> -1
+    in
+    let byz_list, byz_strategy =
       match byz with
-      | None -> (Iset.empty, fun ~byz_id:_ ~round:_ ~inbox:_ -> [])
+      | None -> ([], fun ~byz_id:_ ~round:_ ~inbox:_ -> [])
       | Some (bs, strat) ->
           List.iter
             (fun b ->
-              if not (Array.exists (fun i -> i = b) ids) then
+              if not (Hashtbl.mem slot_of b) then
                 invalid_arg "Engine.run: byzantine id not a participant")
             bs;
-          (Iset.of_list bs, strat)
+          (List.sort_uniq Int.compare bs, strat)
+    in
+    let is_byz = Array.make n false in
+    List.iter (fun b -> is_byz.(Hashtbl.find slot_of b) <- true) byz_list;
+    (* Byzantine slots in ascending identity order: strategies may share
+       an rng across nodes, so the invocation order is part of the
+       deterministic contract. *)
+    let byz_slots =
+      Array.of_list (List.map (fun b -> Hashtbl.find slot_of b) byz_list)
     in
     let metrics = Metrics.create () in
     let master_rng = Repro_util.Rng.of_seed seed in
     let current_round = ref 0 in
-    let states : (int, 'r node_state) Hashtbl.t = Hashtbl.create (2 * n) in
-    let byz_inboxes : (int, envelope list) Hashtbl.t = Hashtbl.create 8 in
+    let running_count = ref 0 in
     (* Start every honest fiber; each runs up to its first round barrier.
-       Identities are processed in array order for determinism. *)
-    Array.iter
-      (fun id ->
-        if Iset.mem id byz_ids then Hashtbl.replace states id Byz_node
-        else
-          let ctx =
-            { id; ids; node_rng = Repro_util.Rng.split master_rng; current_round }
-          in
-          let state =
-            match start_fiber program ctx with
-            | Done r -> Finished r
-            | step -> Running step
-          in
-          Hashtbl.replace states id state)
-      ids;
-    let alive_running () =
-      Array.to_list ids
-      |> List.filter (fun id ->
-             match Hashtbl.find states id with
-             | Running _ -> true
-             | Finished _ | Dead _ | Byz_node -> false)
+       Identities are processed in array order so each node's private rng
+       stream depends only on ([ids], [seed]). *)
+    let states : 'r node_state array = Array.make n Byz_node in
+    for s = 0 to n - 1 do
+      if not is_byz.(s) then begin
+        let ctx =
+          {
+            id = ids.(s);
+            ids;
+            node_rng = Repro_util.Rng.split master_rng;
+            current_round;
+          }
+        in
+        states.(s) <-
+          (match start_fiber program ctx with
+          | Done r -> Finished r
+          | step ->
+              incr running_count;
+              Running step)
+      end
+    done;
+    (* Delivery iterates senders in ascending identity order, so each
+       recipient's buffer accumulates already grouped and sorted by
+       source id — no per-recipient sort. *)
+    let order = Array.init n (fun s -> s) in
+    Array.sort (fun a b -> Int.compare ids.(a) ids.(b)) order;
+    (* Per-slot inbox buffers: preallocated growable arrays, refilled
+       every round. Envelopes are pushed in delivery order (ascending
+       source id, so already sorted) and turned into the handed-over
+       list in one backwards pass at the barrier — no per-message cons
+       during accumulation, no reversal. *)
+    let inbox_buf : envelope array array = Array.make n [||] in
+    let inbox_len : int array = Array.make n 0 in
+    let push d e =
+      let buf = inbox_buf.(d) in
+      let len = inbox_len.(d) in
+      if len = Array.length buf then begin
+        let grown = Array.make (max 16 (2 * len)) e in
+        Array.blit buf 0 grown 0 len;
+        inbox_buf.(d) <- grown
+      end
+      else buf.(len) <- e;
+      inbox_len.(d) <- len + 1
     in
-    let crashed_list () =
-      Array.to_list ids
-      |> List.filter (fun id ->
-             match Hashtbl.find states id with Dead _ -> true | _ -> false)
+    let take_inbox s =
+      let buf = inbox_buf.(s) in
+      let rec build i acc =
+        if i < 0 then acc else build (i - 1) (buf.(i) :: acc)
+      in
+      let l = build (inbox_len.(s) - 1) [] in
+      inbox_len.(s) <- 0;
+      l
+    in
+    let byz_prev_inbox : envelope list array = Array.make n [] in
+    let byz_out : (int * M.t) list array = Array.make n [] in
+    (* When a crash adversary is attached, the envelopes materialized
+       for its observation are kept per sender slot and delivered as-is,
+       instead of being materialized a second time. This doubles as the
+       stash of a mid-send victim's suspended outbox: the state moves to
+       [Dead] but the adversary-chosen subset still goes out. *)
+    let pre_envs : envelope list option array = Array.make n None in
+    let crash_active = crash != no_crash in
+    let materialize src = function
+      | Unicast l -> List.map (fun (dst, msg) -> { src; dst; msg }) l
+      | Multisend (dsts, m) -> List.map (fun dst -> { src; dst; msg = m }) dsts
+      | Broadcast m ->
+          Array.to_list (Array.map (fun dst -> { src; dst; msg = m }) ids)
+    in
+    let receive d e =
+      match states.(d) with
+      | Running _ | Byz_node -> push d e
+      | Finished _ | Dead _ -> ()
+    in
+    let deliver_honest e =
+      let d = find_slot e.dst in
+      if d >= 0 then receive d e
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Engine.exchange: node %d sent to %d, not a participant" e.src
+             e.dst)
+    in
+    (* Deliver a broadcast's materialized envelope list: it was built in
+       [ids] array order, so the recipient slot is the position — no
+       destination lookup. *)
+    let deliver_broadcast_envs envs =
+      List.iteri (fun d e -> receive d e) envs
     in
     let rec loop () =
-      let running = alive_running () in
-      if running = [] then ()
+      if !running_count = 0 then ()
       else if !current_round >= max_rounds then
         raise (Max_rounds_exceeded max_rounds)
       else begin
         let round_no = !current_round in
-        (* 1. Collect the round's honest outboxes. *)
-        let outboxes =
-          List.filter_map
-            (fun id ->
-              match Hashtbl.find states id with
-              | Running (Yield (out, _)) ->
-                  Some
-                    (id, List.map (fun (dst, msg) -> { src = id; dst; msg }) out)
-              | Running (Done _) | Finished _ | Dead _ | Byz_node -> None)
-            (Array.to_list ids)
+        (* 1. Byzantine traffic for this round, from last round's
+           inboxes (each Byzantine inbox is built exactly once). *)
+        Array.iter
+          (fun s ->
+            let out =
+              byz_strategy ~byz_id:ids.(s) ~round:round_no
+                ~inbox:byz_prev_inbox.(s)
+            in
+            List.iter
+              (fun (_, msg) -> Metrics.add_byz metrics ~bits:(M.bits msg))
+              out;
+            byz_out.(s) <- out)
+          byz_slots;
+        (* 2. Let the crash adversary act. The observation (and the
+           envelope materialization it requires) is only built when an
+           adversary is actually attached. *)
+        let victim_filter : (envelope -> bool) option array =
+          if not crash_active then [||]
+          else begin
+            let filters = Array.make n None in
+            let collect f =
+              let acc = ref [] in
+              for s = n - 1 downto 0 do
+                match f s with Some x -> acc := x :: !acc | None -> ()
+              done;
+              !acc
+            in
+            let observation =
+              {
+                obs_round = round_no;
+                obs_alive =
+                  collect (fun s ->
+                      match states.(s) with
+                      | Running _ -> Some ids.(s)
+                      | _ -> None);
+                obs_outboxes =
+                  collect (fun s ->
+                      match states.(s) with
+                      | Running (Yield (out, _)) ->
+                          let envs = materialize ids.(s) out in
+                          pre_envs.(s) <- Some envs;
+                          Some (ids.(s), envs)
+                      | _ -> None);
+                obs_crashed =
+                  collect (fun s ->
+                      match states.(s) with
+                      | Dead _ -> Some ids.(s)
+                      | _ -> None);
+              }
+            in
+            let orders = crash observation in
+            (* First order per victim wins; orders against dead or
+               unknown nodes are ignored. A victim's suspended outbox is
+               kept aside so the adversary-chosen subset still goes out
+               below. *)
+            List.iter
+              (fun { victim; delivered } ->
+                let s = find_slot victim in
+                if s >= 0 && filters.(s) = None then
+                  match states.(s) with
+                  | Running _ ->
+                      (* [pre_envs.(s)] (set while building the
+                         observation, for [Yield] steps) is the suspended
+                         outbox delivered through the filter below. *)
+                      filters.(s) <- Some delivered;
+                      states.(s) <- Dead round_no;
+                      decr running_count;
+                      Metrics.record_crash metrics
+                  | Finished _ ->
+                      filters.(s) <- Some delivered;
+                      states.(s) <- Dead round_no;
+                      Metrics.record_crash metrics
+                  | Dead _ | Byz_node -> ())
+              orders;
+            filters
+          end
         in
-        (* 2. Byzantine traffic for this round. *)
-        let byz_envs =
-          Iset.fold
-            (fun b acc ->
-              let inbox =
-                Option.value ~default:[] (Hashtbl.find_opt byz_inboxes b)
-              in
-              let out = byz_strategy ~byz_id:b ~round:round_no ~inbox in
-              List.fold_left
-                (fun acc (dst, msg) ->
-                  Metrics.add_byz metrics ~bits:(M.bits msg);
-                  { src = b; dst; msg } :: acc)
-                acc out)
-            byz_ids []
-          |> List.rev
-        in
-        (* 3. Let the crash adversary act on what it can observe. *)
-        let observation =
-          {
-            obs_round = round_no;
-            obs_alive = running;
-            obs_outboxes = outboxes;
-            obs_crashed = crashed_list ();
-          }
-        in
-        let orders = crash observation in
-        let filter_of =
-          List.fold_left
-            (fun acc { victim; delivered } ->
-              match Hashtbl.find_opt states victim with
-              | Some (Running _) | Some (Finished _) ->
-                  if List.mem_assoc victim acc then acc
-                  else (victim, delivered) :: acc
-              | _ -> acc)
-            [] orders
-        in
-        List.iter
-          (fun (victim, _) ->
-            Hashtbl.replace states victim (Dead round_no);
-            Metrics.record_crash metrics)
-          filter_of;
-        (* 4. Transmit: full outbox for survivors, the adversary-chosen
-           subset for nodes crashed mid-send. *)
-        let honest_envs =
-          List.concat_map
-            (fun (src, envs) ->
-              let envs =
-                match List.assoc_opt src filter_of with
-                | None -> envs
-                | Some keep -> List.filter keep envs
-              in
-              List.iter
-                (fun e -> Metrics.add_honest metrics ~bits:(M.bits e.msg))
-                envs;
-              envs)
-            outboxes
-        in
-        let all_envs = honest_envs @ byz_envs in
-        (* 5. Build inboxes, sorted by source for determinism. *)
-        let inbox_tbl : (int, envelope list) Hashtbl.t = Hashtbl.create (2 * n) in
-        List.iter
-          (fun e ->
-            let prev = Option.value ~default:[] (Hashtbl.find_opt inbox_tbl e.dst) in
-            Hashtbl.replace inbox_tbl e.dst (e :: prev))
-          all_envs;
-        let inbox_of id =
-          Option.value ~default:[] (Hashtbl.find_opt inbox_tbl id)
-          |> List.sort (fun a b -> Int.compare a.src b.src)
-        in
-        Iset.iter (fun b -> Hashtbl.replace byz_inboxes b (inbox_of b)) byz_ids;
+        (* 3. Transmit, senders in ascending id order: full outbox for
+           survivors, the adversary-chosen subset for nodes crashed
+           mid-send. Inbox buffers fill sorted by construction. *)
+        Array.iter
+          (fun s ->
+            match states.(s) with
+            | Byz_node ->
+                let src = ids.(s) in
+                List.iter
+                  (fun (dst, msg) ->
+                    match Hashtbl.find_opt slot_of dst with
+                    | Some d -> receive d { src; dst; msg }
+                    | None -> Metrics.record_byz_misaddressed metrics)
+                  byz_out.(s);
+                byz_out.(s) <- []
+            | Running (Yield (out, _)) -> (
+                match pre_envs.(s) with
+                | Some envs -> (
+                    (* Reuse the envelopes already materialized for the
+                       adversary's observation. *)
+                    pre_envs.(s) <- None;
+                    match out with
+                    | Broadcast m ->
+                        Metrics.add_honest_n metrics ~count:n
+                          ~bits_each:(M.bits m);
+                        deliver_broadcast_envs envs
+                    | Multisend (_, m) ->
+                        Metrics.add_honest_n metrics
+                          ~count:(List.length envs) ~bits_each:(M.bits m);
+                        List.iter deliver_honest envs
+                    | Unicast _ -> (
+                        (* A unicast outbox usually repeats one physical
+                           message (a status fanned to the committee):
+                           size it once. *)
+                        match envs with
+                        | [] -> ()
+                        | e0 :: _ ->
+                            let m0 = e0.msg in
+                            let b0 = M.bits m0 in
+                            List.iter
+                              (fun e ->
+                                Metrics.add_honest metrics
+                                  ~bits:
+                                    (if e.msg == m0 then b0 else M.bits e.msg);
+                                deliver_honest e)
+                              envs))
+                | None -> (
+                    let src = ids.(s) in
+                    match out with
+                    | Broadcast m ->
+                        (* Fast path: one metrics update, direct slot
+                           fan-out, no destination lookup. *)
+                        Metrics.add_honest_n metrics ~count:n
+                          ~bits_each:(M.bits m);
+                        for d = 0 to n - 1 do
+                          receive d { src; dst = ids.(d); msg = m }
+                        done
+                    | Multisend (dsts, m) ->
+                        Metrics.add_honest_n metrics
+                          ~count:(List.length dsts) ~bits_each:(M.bits m);
+                        List.iter
+                          (fun dst -> deliver_honest { src; dst; msg = m })
+                          dsts
+                    | Unicast [] -> ()
+                    | Unicast ((_, m0) :: _ as l) ->
+                        let b0 = M.bits m0 in
+                        List.iter
+                          (fun (dst, msg) ->
+                            Metrics.add_honest metrics
+                              ~bits:(if msg == m0 then b0 else M.bits msg);
+                            deliver_honest { src; dst; msg })
+                          l))
+            | Dead _ when pre_envs.(s) <> None ->
+                let envs = Option.get pre_envs.(s) in
+                pre_envs.(s) <- None;
+                let keep = Option.value ~default:(fun _ -> true)
+                    victim_filter.(s) in
+                List.iter
+                  (fun e ->
+                    if keep e then begin
+                      Metrics.add_honest metrics ~bits:(M.bits e.msg);
+                      deliver_honest e
+                    end)
+                  envs
+            | Running (Done _) | Finished _ | Dead _ -> ())
+          order;
         Metrics.end_round metrics;
         incr current_round;
-        (* 6. Resume survivors with their inboxes; each runs to its next
-           barrier (or completion). *)
+        (* 4. Hand over inboxes: Byzantine slots keep theirs for next
+           round's strategy call; survivors resume (in array order, like
+           fiber start) up to their next barrier. *)
         Array.iter
-          (fun id ->
-            match Hashtbl.find states id with
-            | Running (Yield (_, k)) ->
-                let next = Effect.Deep.continue k (inbox_of id) in
-                Hashtbl.replace states id
-                  (match next with Done r -> Finished r | step -> Running step)
-            | Running (Done r) -> Hashtbl.replace states id (Finished r)
-            | Finished _ | Dead _ | Byz_node -> ())
-          ids;
+          (fun s -> byz_prev_inbox.(s) <- take_inbox s)
+          byz_slots;
+        for s = 0 to n - 1 do
+          match states.(s) with
+          | Running (Yield (_, k)) ->
+              let inbox = take_inbox s in
+              states.(s) <-
+                (match Effect.Deep.continue k inbox with
+                | Done r ->
+                    decr running_count;
+                    Finished r
+                | step -> Running step)
+          | Running (Done _) | Finished _ | Dead _ | Byz_node -> ()
+        done;
         loop ()
       end
     in
     loop ();
     let outcomes =
-      Array.to_list ids
-      |> List.map (fun id ->
-             match Hashtbl.find states id with
-             | Finished r -> (id, Decided r)
-             | Dead r -> (id, Crashed r)
-             | Byz_node -> (id, Byzantine)
-             | Running _ -> (id, Unfinished))
+      List.init n (fun s ->
+          ( ids.(s),
+            match states.(s) with
+            | Finished r -> Decided r
+            | Dead r -> Crashed r
+            | Byz_node -> Byzantine
+            | Running _ -> Unfinished ))
     in
     { outcomes; metrics }
 
   module Crash = struct
-    let none : crash_adversary = fun _ -> []
+    let none = no_crash
 
     let deliver_all _ = true
 
@@ -283,6 +476,10 @@ module Make (M : MSG) = struct
             schedule.(obs.obs_round)
           else 0
         in
+        (* More crashes may fall due in a round than nodes remain alive;
+           clamp so we never request more victims than candidates (the
+           surplus is simply lost, as those nodes are already gone). *)
+        let due = min due (List.length obs.obs_alive) in
         if due = 0 then []
         else
           let victims =

@@ -50,6 +50,7 @@ type 'r run_result = {
 
 exception Max_rounds_exceeded of int
 
+
 module type MSG = sig
   type t
 
@@ -82,11 +83,25 @@ module Make (M : MSG) : sig
   (** [exchange ctx outbox] sends each [(dst, msg)] in this round and
       returns the messages addressed to this node in the same round,
       sorted by source identity. Must only be called from inside a node
-      program run by {!run}. *)
+      program run by {!run}.
+
+      Sending to a [dst] outside the participant set is a programming
+      error and makes the run raise [Invalid_argument] (misaddressed
+      {e Byzantine} traffic, by contrast, is silently dropped and
+      counted in [Metrics.byz_misaddressed]). *)
+
+  val multisend : ctx -> dsts:int list -> M.t -> envelope list
+  (** [multisend ctx ~dsts m] behaves like [exchange] of [m] to each
+      destination in [dsts] (in order), but the engine fans the single
+      message value out itself: emitting it costs O(1) in outbox
+      structure and its size is computed once for the whole batch. The
+      status-report rounds of the renaming protocols are this shape. *)
 
   val broadcast : ctx -> M.t -> envelope list
   (** [broadcast ctx m] = [exchange] of [m] to every link (including the
-      node's own). *)
+      node's own). Broadcasts take a fast path through the engine: the
+      outbox is represented as a single value and fanned out to the [n]
+      recipients once, so emitting one is O(1) for the sender. *)
 
   val skip_round : ctx -> envelope list
   (** Send nothing this round, still observing the round barrier. *)
@@ -177,3 +192,4 @@ module Make (M : MSG) : sig
         different announcement subsets. *)
   end
 end
+

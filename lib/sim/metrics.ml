@@ -3,9 +3,10 @@ type t = {
   mutable honest_bits : int;
   mutable byz_messages : int;
   mutable byz_bits : int;
+  mutable byz_misaddressed : int;
   mutable rounds : int;
   mutable crashes : int;
-  mutable per_round_messages : int list;
+  mutable per_round_buf : int array;
   mutable current_round_messages : int;
 }
 
@@ -15,9 +16,10 @@ let create () =
     honest_bits = 0;
     byz_messages = 0;
     byz_bits = 0;
+    byz_misaddressed = 0;
     rounds = 0;
     crashes = 0;
-    per_round_messages = [];
+    per_round_buf = [||];
     current_round_messages = 0;
   }
 
@@ -26,19 +28,31 @@ let add_honest t ~bits =
   t.honest_bits <- t.honest_bits + bits;
   t.current_round_messages <- t.current_round_messages + 1
 
+let add_honest_n t ~count ~bits_each =
+  t.honest_messages <- t.honest_messages + count;
+  t.honest_bits <- t.honest_bits + (count * bits_each);
+  t.current_round_messages <- t.current_round_messages + count
+
 let add_byz t ~bits =
   t.byz_messages <- t.byz_messages + 1;
   t.byz_bits <- t.byz_bits + bits
 
+let record_byz_misaddressed t = t.byz_misaddressed <- t.byz_misaddressed + 1
+
 let end_round t =
-  t.per_round_messages <- t.current_round_messages :: t.per_round_messages;
+  let cap = Array.length t.per_round_buf in
+  if t.rounds = cap then begin
+    let bigger = Array.make (max 16 (2 * cap)) 0 in
+    Array.blit t.per_round_buf 0 bigger 0 cap;
+    t.per_round_buf <- bigger
+  end;
+  t.per_round_buf.(t.rounds) <- t.current_round_messages;
   t.current_round_messages <- 0;
   t.rounds <- t.rounds + 1
 
 let record_crash t = t.crashes <- t.crashes + 1
 
-let messages_by_round t =
-  Array.of_list (List.rev t.per_round_messages)
+let messages_by_round t = Array.sub t.per_round_buf 0 t.rounds
 
 let pp ppf t =
   Format.fprintf ppf

@@ -13,21 +13,35 @@ type t = {
   mutable honest_bits : int;
   mutable byz_messages : int;
   mutable byz_bits : int;
+  mutable byz_misaddressed : int;
+      (** Byzantine sends addressed outside the participant set; the
+          network drops them, this counter is their only trace. (Honest
+          nodes raise instead — see [Engine.exchange].) *)
   mutable rounds : int;  (** rounds actually executed *)
   mutable crashes : int;  (** crash-adversary expenditure *)
-  mutable per_round_messages : int list;
-      (** completed rounds' honest message counts, most recent first *)
+  mutable per_round_buf : int array;
+      (** growable buffer of completed rounds' honest message counts;
+          only the first [rounds] entries are meaningful — read through
+          {!messages_by_round} *)
   mutable current_round_messages : int;
       (** honest messages in the round currently executing *)
 }
 
 val create : unit -> t
 val add_honest : t -> bits:int -> unit
+
+val add_honest_n : t -> count:int -> bits_each:int -> unit
+(** [count] same-size honest messages at once — the broadcast fast path
+    ([count] envelopes of [bits_each] bits each, O(1) bookkeeping). *)
+
 val add_byz : t -> bits:int -> unit
+val record_byz_misaddressed : t -> unit
+
 val end_round : t -> unit
 (** Close the current round's per-round counter and bump [rounds]. *)
 
 val record_crash : t -> unit
+
 val messages_by_round : t -> int array
 (** Chronological per-round honest message counts. *)
 

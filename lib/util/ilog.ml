@@ -1,7 +1,20 @@
+(* [tbl16] holds floor_log2 of every 16-bit value (entry 0 is unused).
+   The message-size accounting calls this for every field of every
+   honest message, and the arguments — identities, interval bounds,
+   depths — are small, so one byte load covers nearly every call. *)
+let tbl16 =
+  Bytes.init 0x10000 (fun i ->
+      let rec f acc v = if v >= 2 then f (acc + 1) (v lsr 1) else acc in
+      Char.chr (f 0 (max i 1)))
+
 let floor_log2 n =
   if n <= 0 then invalid_arg "Ilog.floor_log2";
-  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
-  go 0 n
+  if n < 0x10000 then Char.code (Bytes.unsafe_get tbl16 n)
+  else if n < 0x1_0000_0000 then
+    16 + Char.code (Bytes.unsafe_get tbl16 (n lsr 16))
+  else if n < 0x1_0000_0000_0000 then
+    32 + Char.code (Bytes.unsafe_get tbl16 (n lsr 32))
+  else 48 + Char.code (Bytes.unsafe_get tbl16 (n lsr 48))
 
 let ceil_log2 n =
   if n <= 0 then invalid_arg "Ilog.ceil_log2";

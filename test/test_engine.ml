@@ -176,6 +176,57 @@ let test_determinism () =
   let a = run () and b = run () in
   Alcotest.(check bool) "identical reruns" true (a = b)
 
+(* Same-seed executions must be indistinguishable down to every inbox of
+   every node in every round — not just final outcomes. The program mixes
+   all three outbox shapes, a mid-send crash adversary and a Byzantine
+   node, so the trace crosses each delivery path of the engine. *)
+let test_recorded_trace_equality () =
+  let ids = [| 3; 7; 11; 19; 23; 42 |] in
+  let record () =
+    let trace = ref [] in
+    let note round id inbox =
+      trace :=
+        ( round,
+          id,
+          List.map (fun (e : Net.envelope) -> (e.src, e.dst, e.msg)) inbox )
+        :: !trace
+    in
+    let program ctx =
+      let id = Net.my_id ctx in
+      let r = Net.rng ctx in
+      for round = 0 to 5 do
+        let x = Repro_util.Rng.int r 100 in
+        let inbox =
+          match round mod 3 with
+          | 0 -> Net.broadcast ctx (M.Ping x)
+          | 1 -> Net.multisend ctx ~dsts:[ 3; 19; 42 ] (M.Pong x)
+          | _ ->
+              Net.exchange ctx
+                (if x mod 2 = 0 then [ (7, M.Ping x); (23, M.Pong x) ]
+                 else [])
+        in
+        note round id inbox
+      done;
+      id
+    in
+    let crash =
+      Net.Crash.random
+        ~rng:(Repro_util.Rng.of_seed 5) ~f:2 ~horizon:5
+        ~mid_send_prob:1.0 ()
+    in
+    let strategy ~byz_id:_ ~round ~inbox:_ =
+      [ (7, M.Pong round); (11, M.Ping (round * round)) ]
+    in
+    let res =
+      Net.run ~ids ~byz:([ 23 ], strategy) ~crash ~seed:123 ~program ()
+    in
+    (!trace, res.outcomes, Metrics.messages_by_round res.metrics)
+  in
+  let t1, o1, m1 = record () and t2, o2, m2 = record () in
+  Alcotest.(check bool) "identical traces" true (t1 = t2);
+  Alcotest.(check bool) "identical outcomes" true (o1 = o2);
+  Alcotest.(check (array int)) "identical per-round profile" m1 m2
+
 let test_node_rngs_differ () =
   let program ctx = Repro_util.Rng.int (Net.rng ctx) 1_000_000 in
   let res = Net.run ~ids:ids3 ~seed:5 ~program () in
@@ -271,6 +322,8 @@ let suite =
       Alcotest.test_case "byz id must participate" `Quick
         test_byz_id_must_participate;
       Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "recorded-trace equality" `Quick
+        test_recorded_trace_equality;
       Alcotest.test_case "node rngs differ" `Quick test_node_rngs_differ;
       Alcotest.test_case "per-round message counts" `Quick
         test_per_round_message_counts;

@@ -1,0 +1,92 @@
+module Parallel = Repro_renaming.Parallel
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+
+(* The runner's contract is bit-identical output for every domain count:
+   trials land in the slot of their own index no matter which domain ran
+   them or in what order the scheduler interleaved the pulls. *)
+
+let test_map_order_and_identity () =
+  let f i = (i * i) + 7 in
+  let expect = Array.init 23 f in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map with %d domains" domains)
+        expect
+        (Parallel.map ~domains 23 f))
+    [ 1; 2; 4; 7 ]
+
+let test_trial_aggregates_domain_invariant () =
+  (* Real simulated executions, the same shape [Experiment.averaged]
+     fans out. Everything — outcome flags, rounds, messages, bits — must
+     be equal across domain counts, not merely the means. *)
+  let trial i =
+    let a =
+      E.run_crash ~protocol:E.This_work_crash ~n:32 ~namespace:2048
+        ~adversary:(E.Committee_killer 8) ~seed:(900 + (i * 7919)) ()
+    in
+    ( a.Runner.correct,
+      a.Runner.strong,
+      a.Runner.rounds,
+      a.Runner.messages,
+      a.Runner.bits )
+  in
+  let base = Parallel.map_list ~domains:1 6 trial in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "aggregates equal at %d domains" domains)
+        true
+        (Parallel.map_list ~domains 6 trial = base))
+    [ 2; 4 ]
+
+let test_averaged_domain_invariant () =
+  let run ~seed =
+    E.run_crash ~protocol:E.This_work_crash ~n:32 ~namespace:2048
+      ~adversary:E.No_crash ~seed ()
+  in
+  let means domains =
+    let _, r, m, b = E.averaged ~domains ~trials:5 ~seed:321 run in
+    (r, m, b)
+  in
+  let r1, m1, b1 = means 1 in
+  List.iter
+    (fun domains ->
+      let r, m, b = means domains in
+      (* Float equality on purpose: the fold order over trials is fixed
+         by index, so the means are bit-identical, not just close. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "means bit-identical at %d domains" domains)
+        true
+        (r = r1 && m = m1 && b = b1))
+    [ 2; 4 ]
+
+let test_map_edge_cases () =
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~domains:4 0 Fun.id);
+  Alcotest.(check (array int))
+    "fewer jobs than domains" [| 0; 1 |]
+    (Parallel.map ~domains:8 2 Fun.id);
+  Alcotest.check_raises "zero domains rejected"
+    (Invalid_argument "Parallel.set_domains: need at least 1") (fun () ->
+      Parallel.set_domains 0)
+
+let test_map_propagates_exception () =
+  Alcotest.check_raises "failure surfaces" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~domains:3 8 (fun i ->
+             if i = 5 then failwith "boom" else i)))
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "map order and identity" `Quick
+        test_map_order_and_identity;
+      Alcotest.test_case "trial aggregates domain-invariant" `Quick
+        test_trial_aggregates_domain_invariant;
+      Alcotest.test_case "averaged means domain-invariant" `Quick
+        test_averaged_domain_invariant;
+      Alcotest.test_case "map edge cases" `Quick test_map_edge_cases;
+      Alcotest.test_case "exception propagation" `Quick
+        test_map_propagates_exception;
+    ] )
