@@ -1,0 +1,166 @@
+(* Adversary-schedule fuzzer driver.
+
+     fuzz --algo crash -n 32 --trials 500 --seed 42
+     fuzz --algo byz -n 24 --trials 100 --shrink --out failing.sched
+     fuzz --replay test/corpus/crash_mid_send.sched
+
+   Campaign mode generates seeded random schedules, runs each against
+   the invariant oracles and exits 1 on the first violation (after
+   optional shrinking). Replay mode re-executes a schedule file and
+   prints the byte-deterministic trace. *)
+
+module Schedule = Repro_check.Schedule
+module Oracle = Repro_check.Oracle
+module Fuzzer = Repro_check.Fuzzer
+module Shrink = Repro_check.Shrink
+open Cmdliner
+
+let algo_conv = Arg.enum [ ("crash", Schedule.Crash); ("byz", Schedule.Byz) ]
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Schedule.Crash
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm to fuzz: crash or byz.")
+
+let n_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes per trial.")
+
+let namespace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "N"; "namespace" ] ~docv:"NS"
+        ~doc:"Original namespace size (default: 64·n).")
+
+let trials_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "trials" ] ~docv:"T" ~doc:"Number of schedules to generate.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed (trial i uses SEED + i·7919).")
+
+let faults_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "faults" ] ~docv:"F"
+        ~doc:"Per-trial fault budget (default: n/4 crash, n/8 byz).")
+
+let shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:"Minimize the first failing schedule with delta debugging.")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the (shrunk) failing schedule to FILE.")
+
+let replay_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay a schedule file instead of fuzzing; print the trace.")
+
+let domains_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:"OCaml domains for the campaign (default: auto). Verdicts \
+              do not depend on this.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the trace on replay.")
+
+let dump_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "dump-trial" ] ~docv:"I"
+        ~doc:"Print the schedule of trial I for the given campaign \
+              parameters (without running it) and exit; for freezing \
+              schedules under test/corpus/.")
+
+let print_verdict (v : Oracle.verdict) =
+  (match v.assessment with
+  | Some a -> Format.printf "%a@." Repro_renaming.Runner.pp a
+  | None -> print_endline "run aborted");
+  List.iter (fun m -> Printf.printf "VIOLATION: %s\n" m) v.violations
+
+let do_replay path quiet =
+  match Schedule.of_file path with
+  | Error m ->
+      Printf.eprintf "fuzz: cannot load %s: %s\n" path m;
+      exit 2
+  | Ok s ->
+      let trace, v = Fuzzer.replay s in
+      if quiet then print_verdict v else print_string trace;
+      if Oracle.failed v then exit 1
+
+let do_campaign config shrink out domains =
+  Printf.printf "fuzzing %s: n=%d namespace=%d trials=%d seed=%d budget=%d\n%!"
+    (Schedule.algo_name config.Fuzzer.algo)
+    config.n config.namespace config.trials config.seed config.fault_budget;
+  let reports = Fuzzer.campaign ?domains config in
+  match Fuzzer.first_failure reports with
+  | None ->
+      Printf.printf "ok: %d trials, all invariants upheld\n" config.trials
+  | Some r ->
+      Printf.printf "FAILURE at trial %d (seed %d):\n" r.index
+        r.schedule.Schedule.seed;
+      List.iter
+        (fun m -> Printf.printf "  VIOLATION: %s\n" m)
+        r.verdict.Oracle.violations;
+      let final =
+        if shrink then begin
+          let progress ~passes ~faults =
+            Printf.printf "  shrink pass %d: %d fault events\n%!" passes faults
+          in
+          let still_fails s = Oracle.failed (Fuzzer.run s) in
+          let s = Shrink.minimize ~progress ~still_fails r.schedule in
+          Printf.printf "shrunk to %d fault events\n" (Schedule.faults s);
+          s
+        end
+        else r.schedule
+      in
+      print_string (Schedule.to_string final);
+      (match out with
+      | Some path ->
+          Schedule.to_file path final;
+          Printf.printf "written to %s (replay with --replay %s)\n" path path
+      | None -> ());
+      exit 1
+
+let main algo n namespace trials seed faults shrink out replay domains quiet
+    dump =
+  match replay with
+  | Some path -> do_replay path quiet
+  | None -> (
+      let namespace = if namespace = 0 then 64 * n else namespace in
+      let config =
+        Fuzzer.default_config ~algo ~n ~namespace ~trials ~seed
+          ?fault_budget:faults ()
+      in
+      match dump with
+      | Some i -> print_string (Schedule.to_string (Fuzzer.generate config i))
+      | None -> do_campaign config shrink out domains)
+
+let cmd =
+  let doc =
+    "seeded adversary-schedule fuzzer for the renaming algorithms"
+  in
+  let info = Cmd.info "fuzz" ~doc in
+  Cmd.v info
+    Term.(
+      const main $ algo_arg $ n_arg $ namespace_arg $ trials_arg $ seed_arg
+      $ faults_arg $ shrink_arg $ out_arg $ replay_arg $ domains_arg
+      $ quiet_arg $ dump_arg)
+
+let () =
+  Repro_renaming.Parallel.tune_gc ();
+  exit (Cmd.eval cmd)

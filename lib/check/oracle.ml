@@ -1,0 +1,124 @@
+module Runner = Repro_renaming.Runner
+module Metrics = Repro_sim.Metrics
+
+type expectations = {
+  round_bound : int;
+  target : int;
+  max_faults : int;
+  bit_budget : int;
+  max_msg_bits : int;
+  order_preserving : bool;
+}
+
+type stats = {
+  mutable honest_tapped : int;
+  mutable honest_tapped_bits : int;
+  mutable byz_tapped : int;
+  mutable wire_bad : int;
+  mutable max_honest_msg_bits : int;
+}
+
+let new_stats () =
+  {
+    honest_tapped = 0;
+    honest_tapped_bits = 0;
+    byz_tapped = 0;
+    wire_bad = 0;
+    max_honest_msg_bits = 0;
+  }
+
+let observe_honest st ~bits ~wire_ok =
+  st.honest_tapped <- st.honest_tapped + 1;
+  st.honest_tapped_bits <- st.honest_tapped_bits + bits;
+  if bits > st.max_honest_msg_bits then st.max_honest_msg_bits <- bits;
+  if not wire_ok then st.wire_bad <- st.wire_bad + 1
+
+let observe_byz st = st.byz_tapped <- st.byz_tapped + 1
+
+type verdict = {
+  violations : string list;
+  assessment : Runner.assessment option;
+}
+
+let failed v = v.violations <> []
+
+let no_termination ~round_bound =
+  {
+    violations =
+      [
+        Printf.sprintf
+          "termination: honest nodes still running after %d rounds"
+          round_bound;
+      ];
+    assessment = None;
+  }
+
+let crashed_run exn =
+  {
+    violations =
+      [ Printf.sprintf "engine: run raised %s" (Printexc.to_string exn) ];
+    assessment = None;
+  }
+
+let check exp (a : Runner.assessment) (m : Metrics.t) st =
+  let v = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+  (* Definition 1.1: distinct new names. *)
+  if not a.unique then begin
+    let dup =
+      let sorted = List.sort Int.compare (List.map snd a.assignments) in
+      let rec find = function
+        | x :: y :: _ when x = y -> Some x
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find sorted
+    in
+    add "uniqueness: two decided nodes share new name %s"
+      (match dup with Some d -> string_of_int d | None -> "?")
+  end;
+  (* Namespace tightness: every name inside the target space. *)
+  List.iter
+    (fun (orig, nv) ->
+      if nv < 1 || nv > exp.target then
+        add "namespace: node %d renamed to %d outside [1, %d]" orig nv
+          exp.target)
+    a.assignments;
+  (* Theorem round bounds: the run finished, within the bound. *)
+  if a.unfinished > 0 then
+    add "termination: %d honest nodes unfinished" a.unfinished;
+  if a.rounds > exp.round_bound then
+    add "rounds: %d exceeds the theorem bound %d" a.rounds exp.round_bound;
+  (* Every honest node not scripted to fail must decide. *)
+  if a.decided < a.n - exp.max_faults then
+    add "decided: only %d of >= %d expected honest survivors decided"
+      a.decided (a.n - exp.max_faults);
+  if exp.order_preserving && not a.order_preserving then
+    add "order: decided assignment is not order-preserving";
+  (* Bit budgets (per-process budget scaled by n; the fuzzer derives
+     [bit_budget] from the theorem shapes with generous constants). *)
+  if a.bits > exp.bit_budget then
+    add "bits: %d exceeds budget %d (%d per process)" a.bits exp.bit_budget
+      (exp.bit_budget / max 1 a.n);
+  if st.max_honest_msg_bits > exp.max_msg_bits then
+    add "message size: honest message of %d bits exceeds O(log N) bound %d"
+      st.max_honest_msg_bits exp.max_msg_bits;
+  (* Metrics-vs-wire consistency: what the tap saw on the wire must be
+     exactly what the accounting billed. *)
+  if st.honest_tapped <> m.Metrics.honest_messages then
+    add "metrics: %d honest messages tapped on the wire, %d billed"
+      st.honest_tapped m.Metrics.honest_messages;
+  if st.honest_tapped_bits <> m.Metrics.honest_bits then
+    add "metrics: %d honest bits tapped on the wire, %d billed"
+      st.honest_tapped_bits m.Metrics.honest_bits;
+  if st.byz_tapped <> m.Metrics.byz_messages - m.Metrics.byz_misaddressed
+  then
+    add "metrics: %d byz messages tapped, %d billed minus %d misaddressed"
+      st.byz_tapped m.Metrics.byz_messages m.Metrics.byz_misaddressed;
+  if st.wire_bad > 0 then
+    add "wire: %d messages whose codec round-trip or bit accounting broke"
+      st.wire_bad;
+  if m.Metrics.crashes > exp.max_faults then
+    add "crashes: adversary spent %d crashes, schedule scripts at most %d"
+      m.Metrics.crashes exp.max_faults;
+  { violations = List.rev !v; assessment = Some a }

@@ -1,0 +1,66 @@
+(** Pluggable invariant oracles for fuzzed executions.
+
+    An oracle run combines three sources: the post-run {!Runner.assessment}
+    (uniqueness, namespace tightness, termination), the engine's
+    {!Repro_sim.Metrics} (round/bit totals, crash expenditure), and the
+    wire-tap statistics accumulated during the run (per-message sizes,
+    codec round-trips, tapped-vs-billed consistency). A verdict is the
+    list of violated invariants — empty means the execution upheld every
+    property the theorems promise for its schedule. *)
+
+type expectations = {
+  round_bound : int;
+      (** inclusive bound on executed rounds — the theorem's time bound
+          for the crash algorithm ([9·⌈log n⌉]), the engine's deadlock
+          guard for the Byzantine one *)
+  target : int;
+      (** new names must lie in [\[1, target\]] — [n] for strong
+          renaming, [(1+ε)n] for a loose target *)
+  max_faults : int;
+      (** the schedule's scripted adversary expenditure; bounds both the
+          crash count the metrics may report and the decided-node floor
+          [n - max_faults] *)
+  bit_budget : int;  (** total honest bits allowed for the whole run *)
+  max_msg_bits : int;  (** single honest message bound, the O(log N) claim *)
+  order_preserving : bool;
+      (** require order preservation (Theorem 1.3's extra property; not
+          claimed for the crash algorithm) *)
+}
+
+(** Wire-tap accumulator, fed by the engine's [tap] hook. *)
+type stats = {
+  mutable honest_tapped : int;
+  mutable honest_tapped_bits : int;
+  mutable byz_tapped : int;
+  mutable wire_bad : int;
+  mutable max_honest_msg_bits : int;
+}
+
+val new_stats : unit -> stats
+
+val observe_honest : stats -> bits:int -> wire_ok:bool -> unit
+(** One honest envelope on the wire: its accounted size and whether its
+    codec round-trip reproduced the message at exactly that size. *)
+
+val observe_byz : stats -> unit
+
+type verdict = {
+  violations : string list;  (** empty = all invariants upheld *)
+  assessment : Repro_renaming.Runner.assessment option;
+      (** [None] when the run itself raised (e.g. non-termination) *)
+}
+
+val failed : verdict -> bool
+
+val no_termination : round_bound:int -> verdict
+(** Verdict for a run stopped by the engine's max-round guard. *)
+
+val crashed_run : exn -> verdict
+(** Verdict for a run that raised any other exception. *)
+
+val check :
+  expectations ->
+  Repro_renaming.Runner.assessment ->
+  Repro_sim.Metrics.t ->
+  stats ->
+  verdict

@@ -1,0 +1,173 @@
+type delivery = All | Nothing | Subset of int
+
+type crash_event = { cr_round : int; cr_victim : int; cr_delivery : delivery }
+
+type byz_event = { bz_id : int; bz_behavior : Repro_renaming.Byz_strategies.behavior }
+
+type algo = Crash | Byz
+
+type t = {
+  algo : algo;
+  n : int;
+  namespace : int;
+  seed : int;
+  crashes : crash_event list;
+  byz : byz_event list;
+}
+
+let algo_name = function Crash -> "crash" | Byz -> "byz"
+
+let algo_of_name = function
+  | "crash" -> Some Crash
+  | "byz" -> Some Byz
+  | _ -> None
+
+let faults t = List.length t.crashes + List.length t.byz
+
+(* Events are kept in a canonical order so that structurally equal
+   schedules serialize identically (the replay tests diff raw bytes). *)
+let normalize t =
+  let crashes =
+    List.sort_uniq
+      (fun a b ->
+        match Int.compare a.cr_round b.cr_round with
+        | 0 -> Int.compare a.cr_victim b.cr_victim
+        | c -> c)
+      t.crashes
+  in
+  let byz =
+    List.sort_uniq (fun a b -> Int.compare a.bz_id b.bz_id) t.byz
+  in
+  { t with crashes; byz }
+
+let delivery_to_string = function
+  | All -> "all"
+  | Nothing -> "nothing"
+  | Subset salt -> Printf.sprintf "subset %d" salt
+
+let header = "# repro-fuzz schedule v1"
+
+let to_string t =
+  let t = normalize t in
+  let b = Buffer.create 256 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Printf.ksprintf (Buffer.add_string b) "algo %s\n" (algo_name t.algo);
+  Printf.ksprintf (Buffer.add_string b) "n %d\n" t.n;
+  Printf.ksprintf (Buffer.add_string b) "namespace %d\n" t.namespace;
+  Printf.ksprintf (Buffer.add_string b) "seed %d\n" t.seed;
+  List.iter
+    (fun { cr_round; cr_victim; cr_delivery } ->
+      Printf.ksprintf (Buffer.add_string b) "crash %d %d %s\n" cr_round
+        cr_victim
+        (delivery_to_string cr_delivery))
+    t.crashes;
+  List.iter
+    (fun { bz_id; bz_behavior } ->
+      Printf.ksprintf (Buffer.add_string b) "byz %d %s\n" bz_id
+        (Repro_renaming.Byz_strategies.behavior_name bz_behavior))
+    t.byz;
+  Buffer.contents b
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let algo = ref None
+  and n = ref None
+  and namespace = ref None
+  and seed = ref None
+  and crashes = ref []
+  and byz = ref [] in
+  let parse_line line =
+    match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+    | [ "algo"; a ] -> (
+        match algo_of_name a with
+        | Some a ->
+            algo := Some a;
+            Ok ()
+        | None -> err "unknown algo %S" a)
+    | [ "n"; v ] -> (
+        match int_of_string_opt v with
+        | Some v when v >= 1 ->
+            n := Some v;
+            Ok ()
+        | _ -> err "bad n %S" v)
+    | [ "namespace"; v ] -> (
+        match int_of_string_opt v with
+        | Some v when v >= 1 ->
+            namespace := Some v;
+            Ok ()
+        | _ -> err "bad namespace %S" v)
+    | [ "seed"; v ] -> (
+        match int_of_string_opt v with
+        | Some v ->
+            seed := Some v;
+            Ok ()
+        | None -> err "bad seed %S" v)
+    | "crash" :: r :: v :: rest -> (
+        match (int_of_string_opt r, int_of_string_opt v, rest) with
+        | Some cr_round, Some cr_victim, [ "all" ]
+          when cr_round >= 0 ->
+            crashes := { cr_round; cr_victim; cr_delivery = All } :: !crashes;
+            Ok ()
+        | Some cr_round, Some cr_victim, [ "nothing" ]
+          when cr_round >= 0 ->
+            crashes :=
+              { cr_round; cr_victim; cr_delivery = Nothing } :: !crashes;
+            Ok ()
+        | Some cr_round, Some cr_victim, [ "subset"; salt ]
+          when cr_round >= 0 -> (
+            match int_of_string_opt salt with
+            | Some salt ->
+                crashes :=
+                  { cr_round; cr_victim; cr_delivery = Subset salt }
+                  :: !crashes;
+                Ok ()
+            | None -> err "bad subset salt in %S" line)
+        | _ -> err "bad crash event %S" line)
+    | [ "byz"; id; b ] -> (
+        match
+          ( int_of_string_opt id,
+            Repro_renaming.Byz_strategies.behavior_of_name b )
+        with
+        | Some bz_id, Some bz_behavior ->
+            byz := { bz_id; bz_behavior } :: !byz;
+            Ok ()
+        | _ -> err "bad byz event %S" line)
+    | _ -> err "unparseable line %S" line
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | l :: rest -> ( match parse_line l with Ok () -> go rest | e -> e)
+  in
+  match go lines with
+  | Error _ as e -> e
+  | Ok () -> (
+      match (!algo, !n, !namespace, !seed) with
+      | Some algo, Some n, Some namespace, Some seed ->
+          Ok
+            (normalize
+               { algo; n; namespace; seed; crashes = !crashes; byz = !byz })
+      | _ -> err "missing algo/n/namespace/seed header")
+
+let to_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_string s
+
+let equal a b = normalize a = normalize b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -160,6 +160,64 @@ let split_world (params : B.params) ~rng ~ids : Net.byz_strategy =
       announce @ equivocations @ bait
     end
 
+type behavior = Silence | Equivocate | Misaddress | Replay | Noise
+
+let behavior_name = function
+  | Silence -> "silence"
+  | Equivocate -> "equivocate"
+  | Misaddress -> "misaddress"
+  | Replay -> "replay"
+  | Noise -> "noise"
+
+let behavior_of_name = function
+  | "silence" -> Some Silence
+  | "equivocate" -> Some Equivocate
+  | "misaddress" -> Some Misaddress
+  | "replay" -> Some Replay
+  | "noise" -> Some Noise
+  | _ -> None
+
+let all_behaviors = [ Silence; Equivocate; Misaddress; Replay; Noise ]
+
+let scripted (params : B.params) ~rng ~ids ~behaviors : Net.byz_strategy =
+  (* One underlying instance per behavior family, shared across the
+     scripted nodes of that family — their internal spy tables are keyed
+     by byz id, and sharing the rng keeps the whole script a function of
+     the ids in the schedule (invocation order is fixed by the engine). *)
+  let noise = random_noise params ~rng ~ids in
+  let equivocate = split_world params ~rng ~ids in
+  let n = Array.length ids in
+  let misaddress ~byz_id ~round ~inbox:_ =
+    (* Every send targets an identity outside the participant set (ids
+       live in [1, namespace]); the engine must drop and count each one
+       without disturbing the honest run. Joining the election keeps the
+       node visible to strategies that spy on the ELECT round. *)
+    let base = election_round_out params ~byz_id ~ids in
+    let stray =
+      List.init 2 (fun i ->
+          ( params.B.namespace + 1 + Rng.int rng (n + i + 1),
+            random_msg rng params.B.namespace ))
+    in
+    if round = 0 then base @ stray else stray
+  in
+  let replay ~byz_id ~round ~inbox =
+    (* Re-emit last round's received payloads verbatim at randomly chosen
+       participants: stale Responses, NEWs and consensus votes from
+       earlier protocol stages arriving out of phase. *)
+    if round = 0 then election_round_out params ~byz_id ~ids
+    else
+      List.map
+        (fun (e : Net.envelope) -> (ids.(Rng.int rng n), e.msg))
+        inbox
+  in
+  fun ~byz_id ~round ~inbox ->
+    match List.assoc_opt byz_id behaviors with
+    | None | Some Silence -> []
+    | Some Noise -> noise ~byz_id ~round ~inbox
+    | Some Equivocate -> equivocate ~byz_id ~round ~inbox
+    | Some Misaddress -> misaddress ~byz_id ~round ~inbox
+    | Some Replay -> replay ~byz_id ~round ~inbox
+
 let committee_hijack (params : B.params) ~ids : Net.byz_strategy =
  fun ~byz_id ~round ~inbox:_ ->
   if round = 0 then election_round_out params ~byz_id ~ids

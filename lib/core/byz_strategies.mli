@@ -32,6 +32,40 @@ val committee_hijack :
     collapses. Used by the negative-result test documenting why the
     committee approach needs the non-adaptive assumption. *)
 
+(** {1 Scripted behaviours}
+
+    The schedule fuzzer ([lib/check]) attacks with named, serializable
+    behaviours rather than opaque closures: a schedule file assigns one
+    behaviour per Byzantine identity and {!scripted} builds the strategy
+    that executes it. *)
+
+type behavior =
+  | Silence  (** crash-simulating: never sends *)
+  | Equivocate  (** the {!split_world} playbook *)
+  | Misaddress
+      (** every send targets a non-participant identity — exercises the
+          engine's drop-and-count path ([Metrics.byz_misaddressed]) *)
+  | Replay
+      (** re-emits last round's received payloads at random participants:
+          stale protocol messages arriving out of phase *)
+  | Noise  (** the {!random_noise} playbook *)
+
+val behavior_name : behavior -> string
+val behavior_of_name : string -> behavior option
+val all_behaviors : behavior list
+
+val scripted :
+  Byzantine_renaming.params ->
+  rng:Repro_util.Rng.t ->
+  ids:int array ->
+  behaviors:(int * behavior) list ->
+  Byzantine_renaming.Net.byz_strategy
+(** [scripted params ~rng ~ids ~behaviors] runs, for each Byzantine
+    identity, the behaviour [behaviors] assigns it (unlisted identities
+    stay silent). Deterministic given ([rng] seed, [ids], [behaviors]):
+    the engine fixes the per-round invocation order, so the shared [rng]
+    stream is consumed identically on every run of the same schedule. *)
+
 val split_world :
   Byzantine_renaming.params ->
   rng:Repro_util.Rng.t ->

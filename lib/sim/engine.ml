@@ -102,8 +102,8 @@ module Make (M : MSG) = struct
      no-fault executions skip observation construction entirely. *)
   let no_crash : crash_adversary = fun _ -> []
 
-  let run ~ids ?byz ?(crash = no_crash) ?(max_rounds = 100_000) ?(seed = 1)
-      ~program () =
+  let run ~ids ?byz ?(crash = no_crash) ?tap ?(max_rounds = 100_000)
+      ?(seed = 1) ~program () =
     let n = Array.length ids in
     (* Dense slot indexing: one id → slot table built at start; all
        per-node state lives in arrays indexed by slot. *)
@@ -223,7 +223,19 @@ module Make (M : MSG) = struct
       | Broadcast m ->
           Array.to_list (Array.map (fun dst -> { src; dst; msg = m }) ids)
     in
+    (* Wire tap: observes every envelope handed to the network this
+       round (post crash-filter), including those addressed to finished
+       or crashed recipients — exactly the envelopes {!Metrics} counts
+       for honest senders, which is what replay tooling diffs against the
+       accounting. Tap order is deterministic (ascending sender id, then
+       emission order within a sender). *)
+    let tap_env =
+      match tap with
+      | Some f -> fun e -> f ~round:!current_round e
+      | None -> fun _ -> ()
+    in
     let receive d e =
+      tap_env e;
       match states.(d) with
       | Running _ | Byz_node -> push d e
       | Finished _ | Dead _ -> ()
@@ -459,6 +471,30 @@ module Make (M : MSG) = struct
           if round = obs.obs_round then Some { victim; delivered = deliver_all }
           else None)
         schedule
+
+    (* A delivery decision must be a pure function of the envelope — the
+       filter can be re-evaluated and replayed — so the [`Subset] case
+       derives a coin from (salt, dst) with a splitmix-style mix rather
+       than consuming any rng stream. *)
+    let subset_keeps salt (e : envelope) =
+      let z = (salt lxor (e.dst * 0x9E3779B9)) * 0x2545F4914F6CDD1D in
+      let z = (z lxor (z lsr 27)) * 0x369DEA0F31A53F85 in
+      (z lxor (z lsr 31)) land 1 = 0
+
+    let scripted events : crash_adversary =
+     fun obs ->
+      List.filter_map
+        (fun (round, victim, mode) ->
+          if round <> obs.obs_round then None
+          else
+            let delivered =
+              match mode with
+              | `All -> deliver_all
+              | `Nothing -> fun _ -> false
+              | `Subset salt -> subset_keeps salt
+            in
+            Some { victim; delivered })
+        events
 
     let random ~rng ~f ?(horizon = 64) ?(mid_send_prob = 0.5) () :
         crash_adversary =

@@ -139,6 +139,7 @@ module Make (M : MSG) : sig
     ids:int array ->
     ?byz:int list * byz_strategy ->
     ?crash:crash_adversary ->
+    ?tap:(round:int -> envelope -> unit) ->
     ?max_rounds:int ->
     ?seed:int ->
     program:(ctx -> 'r) ->
@@ -147,6 +148,17 @@ module Make (M : MSG) : sig
   (** Runs one synchronous execution. [ids] are the distinct original
       identities; every identity in [byz] must occur in [ids]. The run is
       deterministic given ([ids], adversaries, [seed]).
+
+      [tap] observes every envelope handed to the network (after the
+      crash adversary's mid-send filter), including envelopes addressed
+      to already-finished or crashed recipients: for honest senders these
+      are exactly the envelopes {!Metrics} counts, so a tap can
+      cross-check the accounting bit for bit. Byzantine envelopes reach
+      the tap only when addressed inside the participant set (misaddressed
+      ones are dropped and only counted). The tap call order is part of
+      the deterministic contract: ascending sender identity, emission
+      order within a sender. Used by the replay/fuzzing tooling in
+      [lib/check] to produce byte-identical execution traces.
 
       @raise Max_rounds_exceeded if honest nodes are still running after
       [max_rounds] (default 100_000) rounds — a deadlock guard.
@@ -160,6 +172,18 @@ module Make (M : MSG) : sig
     val targeted : (int * int) list -> crash_adversary
     (** [targeted \[(round, victim); ...\]] crashes each victim at the
         given round (clean crash, full final-round delivery). *)
+
+    val scripted :
+      (int * int * [ `All | `Nothing | `Subset of int ]) list ->
+      crash_adversary
+    (** [scripted \[(round, victim, delivery); ...\]] replays a fully
+        explicit crash schedule: at [round], [victim] crashes and its
+        final-round outbox is delivered according to [delivery] —
+        everything, nothing, or a mid-send subset chosen by a pure hash
+        of [(salt, dst)] so the same schedule always drops the same
+        envelopes. This is the injection point of the schedule fuzzer
+        ([lib/check]): any generated or shrunk schedule replays
+        byte-identically through it. *)
 
     val random :
       rng:Repro_util.Rng.t ->

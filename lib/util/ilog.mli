@@ -14,4 +14,10 @@ val bit_width : int -> int
     ([bit_width 0 = 1]). Used for message-size accounting. *)
 
 val pow2 : int -> int
-(** [pow2 k] is [2^k] for [0 <= k < 62]. *)
+(** [pow2 k] is [2^k] for [0 <= k <= 61].
+
+    The upper bound is tight, not conservative: OCaml's native [int] has
+    63 bits, so [max_int = 2^62 - 1] and [1 lsl 62] silently wraps to
+    [min_int]. [2^61] is the largest power of two this function can
+    return; [pow2 62] raises rather than returning a negative number.
+    @raise Invalid_argument outside [\[0, 61\]]. *)

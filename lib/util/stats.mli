@@ -6,6 +6,10 @@ type summary = {
   n : int;
   mean : float;
   stddev : float;
+      (** {e population} standard deviation (divides the squared
+          deviations by [n], not [n-1]): the trials summarised here are
+          the whole population of a fixed seed schedule, not a sample
+          from a larger one. [0.] for a singleton. *)
   min : float;
   max : float;
   median : float;

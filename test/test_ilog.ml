@@ -27,7 +27,83 @@ let test_bit_width () =
 
 let test_pow2 () =
   check_int "pow2 0" 1 (Repro_util.Ilog.pow2 0);
-  check_int "pow2 10" 1024 (Repro_util.Ilog.pow2 10)
+  check_int "pow2 10" 1024 (Repro_util.Ilog.pow2 10);
+  (* 61 is the last exponent with 2^k representable in a 63-bit native
+     int (max_int = 2^62 - 1); 1 lsl 62 would wrap to min_int, so the
+     domain stops exactly there. *)
+  check_int "pow2 61" (1 lsl 61) (Repro_util.Ilog.pow2 61);
+  Alcotest.(check bool) "pow2 61 positive" true (Repro_util.Ilog.pow2 61 > 0);
+  Alcotest.check_raises "pow2 62" (Invalid_argument "Ilog.pow2") (fun () ->
+      ignore (Repro_util.Ilog.pow2 62));
+  Alcotest.check_raises "pow2 -1" (Invalid_argument "Ilog.pow2") (fun () ->
+      ignore (Repro_util.Ilog.pow2 (-1)))
+
+(* Naive shift-loop references: the table-driven implementations must
+   agree with these everywhere, most importantly at the 16/32/48-bit
+   table-seam boundaries the lookup splits on. *)
+let naive_floor_log2 n =
+  let rec go acc v = if v >= 2 then go (acc + 1) (v lsr 1) else acc in
+  go 0 n
+
+let naive_bit_width v = if v = 0 then 1 else naive_floor_log2 v + 1
+
+let naive_ceil_log2 n =
+  (* stop at 62: 2^62 itself is not representable, and ceil_log2 of any
+     n above 2^61 is 62 by definition *)
+  let rec go k = if k >= 62 || 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let boundary_values =
+  [
+    1; 2; 3;
+    0xFFFF; 0x10000; 0x10001;
+    0xFFFF_FFFF; 0x1_0000_0000; 0x1_0000_0001;
+    0xFFFF_FFFF_FFFF; 0x1_0000_0000_0000; 0x1_0000_0000_0001;
+    max_int - 1; max_int;
+  ]
+
+let test_boundaries () =
+  List.iter
+    (fun n ->
+      check_int (Printf.sprintf "floor_log2 %#x" n) (naive_floor_log2 n)
+        (Repro_util.Ilog.floor_log2 n);
+      check_int (Printf.sprintf "ceil_log2 %#x" n) (naive_ceil_log2 n)
+        (Repro_util.Ilog.ceil_log2 n);
+      check_int (Printf.sprintf "bit_width %#x" n) (naive_bit_width n)
+        (Repro_util.Ilog.bit_width n))
+    boundary_values;
+  check_int "bit_width 0" (naive_bit_width 0) (Repro_util.Ilog.bit_width 0);
+  check_int "floor_log2 max_int" 61 (Repro_util.Ilog.floor_log2 max_int);
+  check_int "ceil_log2 max_int" 62 (Repro_util.Ilog.ceil_log2 max_int)
+
+(* Generator biased towards table seams: uniform ints alone would
+   essentially never exercise the 2^16/2^32/2^48 splits. *)
+let near_boundary_gen =
+  QCheck.Gen.(
+    let* base = oneofl [ 1; 0x10000; 0x1_0000_0000; 0x1_0000_0000_0000 ] in
+    let* off = int_range (-3) 3 in
+    let* uniform = int_range 1 max_int in
+    oneofl [ max 1 (base + off); uniform ])
+
+let qcheck_vs_naive =
+  QCheck.Test.make ~name:"table impls agree with naive shift loops"
+    ~count:2000
+    (QCheck.make ~print:string_of_int near_boundary_gen)
+    (fun n ->
+      Repro_util.Ilog.floor_log2 n = naive_floor_log2 n
+      && Repro_util.Ilog.ceil_log2 n = naive_ceil_log2 n
+      && Repro_util.Ilog.bit_width n = naive_bit_width n)
+
+let qcheck_pow2_roundtrip =
+  QCheck.Test.make ~name:"pow2 round-trips through floor_log2" ~count:200
+    QCheck.(int_range 0 61)
+    (fun k ->
+      let p = Repro_util.Ilog.pow2 k in
+      p > 0
+      && Repro_util.Ilog.floor_log2 p = k
+      && Repro_util.Ilog.ceil_log2 p = k
+      && Repro_util.Ilog.bit_width p = k + 1
+      && (k = 0 || Repro_util.Ilog.floor_log2 (p - 1) = k - 1))
 
 let qcheck_roundtrip =
   QCheck.Test.make ~name:"ceil/floor log2 sandwich" ~count:500
@@ -47,5 +123,8 @@ let suite =
       Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
       Alcotest.test_case "bit_width" `Quick test_bit_width;
       Alcotest.test_case "pow2" `Quick test_pow2;
+      Alcotest.test_case "table seams vs naive" `Quick test_boundaries;
       QCheck_alcotest.to_alcotest qcheck_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_vs_naive;
+      QCheck_alcotest.to_alcotest qcheck_pow2_roundtrip;
     ] )
