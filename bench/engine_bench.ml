@@ -5,9 +5,10 @@
    implementation and successive PRs can track the trajectory.
 
    Usage:
-     dune exec bench/engine_bench.exe                 # full sweep
-     dune exec bench/engine_bench.exe -- --smoke      # CI smoke mode
-     dune exec bench/engine_bench.exe -- --out F.json # write JSON to F
+     dune exec bench/engine_bench.exe                  # full sweep
+     dune exec bench/engine_bench.exe -- --smoke       # CI smoke mode
+     dune exec bench/engine_bench.exe -- --out F.json  # write JSON to F
+     dune exec bench/engine_bench.exe -- --trace F     # + one traced run
 
    The JSON report (default BENCH_engine.json in the working directory)
    is a flat list of measurements; the committed BENCH_engine.json at
@@ -86,9 +87,34 @@ let write_json ~out ~mode ms =
     (String.concat ",\n" (List.map json_of_measurement ms));
   close_out oc
 
+(* One fixed-seed committee-killer run recorded as a run-trace/v1 JSONL
+   file — with per-round wall-clock and allocation, since a bench trace
+   is for profiling, not byte-compared (trace_cli diff strips the timing
+   fields, so it still diffs clean against an untimed run). *)
+let write_trace ~path ~n file =
+  let t =
+    Repro_obs.Trace.create ~timings:true
+      ~meta:
+        [
+          ("algo", `Str "this-work-crash"); ("path", `Str path); ("n", `Int n);
+          ("namespace", `Int (64 * n)); ("seed", `Int 41);
+        ]
+      ()
+  in
+  let a =
+    E.run_crash ~trace:t ~protocol:E.This_work_crash ~n ~namespace:(64 * n)
+      ~adversary:(adversary_of_path ~n path) ~seed:41 ()
+  in
+  if not a.Runner.correct then
+    failwith (Printf.sprintf "engine_bench: incorrect traced run (n=%d)" n);
+  Repro_obs.Trace.write_file t file;
+  Printf.printf "wrote %s (%d round records)\n" file
+    (Repro_obs.Trace.rounds_recorded t)
+
 let () =
   Repro_renaming.Parallel.tune_gc ();
   let smoke = ref false and out = ref "BENCH_engine.json" in
+  let trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -96,6 +122,9 @@ let () =
         parse rest
     | "--out" :: f :: rest ->
         out := f;
+        parse rest
+    | "--trace" :: f :: rest ->
+        trace := Some f;
         parse rest
     | a :: _ -> invalid_arg ("engine_bench: unknown argument " ^ a)
   in
@@ -119,4 +148,9 @@ let () =
       configs
   in
   write_json ~out:!out ~mode:(if !smoke then "smoke" else "full") ms;
-  Printf.printf "wrote %s\n" !out
+  Printf.printf "wrote %s\n" !out;
+  match !trace with
+  | Some file ->
+      let n = if !smoke then 64 else 128 in
+      write_trace ~path:"committee-killer" ~n file
+  | None -> ()

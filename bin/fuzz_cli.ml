@@ -13,6 +13,7 @@ module Schedule = Repro_check.Schedule
 module Oracle = Repro_check.Oracle
 module Fuzzer = Repro_check.Fuzzer
 module Shrink = Repro_check.Shrink
+module Trace = Repro_obs.Trace
 open Cmdliner
 
 let algo_conv = Arg.enum [ ("crash", Schedule.Crash); ("byz", Schedule.Byz) ]
@@ -78,6 +79,13 @@ let domains_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the trace on replay.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"On replay, also write the structured JSONL run trace \
+              (run-trace/v1, see trace_cli) to FILE.")
+
 let dump_arg =
   Arg.(
     value & opt (some int) None
@@ -92,13 +100,30 @@ let print_verdict (v : Oracle.verdict) =
   | None -> print_endline "run aborted");
   List.iter (fun m -> Printf.printf "VIOLATION: %s\n" m) v.violations
 
-let do_replay path quiet =
+let schedule_meta (s : Schedule.t) =
+  [
+    ("algo", `Str (Schedule.algo_name s.algo)); ("n", `Int s.n);
+    ("namespace", `Int s.namespace); ("seed", `Int s.seed);
+    ("faults", `Int (Schedule.faults s));
+  ]
+
+let do_replay path quiet trace_out =
   match Schedule.of_file path with
   | Error m ->
       Printf.eprintf "fuzz: cannot load %s: %s\n" path m;
       exit 2
   | Ok s ->
-      let trace, v = Fuzzer.replay s in
+      let jsonl =
+        Option.map (fun _ -> Trace.create ~meta:(schedule_meta s) ()) trace_out
+      in
+      let trace, v = Fuzzer.replay ?jsonl s in
+      (* Written before the verdict gates the exit code: a failing
+         replay's trace is the one worth keeping. An aborted run leaves
+         the recorder unfinished; the partial trace (no summary line) is
+         still written. *)
+      (match (trace_out, jsonl) with
+      | Some p, Some t -> Trace.write_file t p
+      | _ -> ());
       if quiet then print_verdict v else print_string trace;
       if Oracle.failed v then exit 1
 
@@ -132,14 +157,22 @@ let do_campaign config shrink out domains =
       (match out with
       | Some path ->
           Schedule.to_file path final;
-          Printf.printf "written to %s (replay with --replay %s)\n" path path
+          (* Dump the structured run trace of the reproducer next to the
+             schedule: the first artefact to look at when triaging. *)
+          let t = Trace.create ~meta:(schedule_meta final) () in
+          ignore (Fuzzer.run ~jsonl:t final);
+          let tpath = path ^ ".trace.jsonl" in
+          Trace.write_file t tpath;
+          Printf.printf
+            "written to %s (replay with --replay %s; run trace in %s)\n" path
+            path tpath
       | None -> ());
       exit 1
 
 let main algo n namespace trials seed faults shrink out replay domains quiet
-    dump =
+    trace dump =
   match replay with
-  | Some path -> do_replay path quiet
+  | Some path -> do_replay path quiet trace
   | None -> (
       let namespace = if namespace = 0 then 64 * n else namespace in
       let config =
@@ -159,7 +192,7 @@ let cmd =
     Term.(
       const main $ algo_arg $ n_arg $ namespace_arg $ trials_arg $ seed_arg
       $ faults_arg $ shrink_arg $ out_arg $ replay_arg $ domains_arg
-      $ quiet_arg $ dump_arg)
+      $ quiet_arg $ trace_arg $ dump_arg)
 
 let () =
   Repro_renaming.Parallel.tune_gc ();

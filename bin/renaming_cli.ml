@@ -10,6 +10,7 @@
 module E = Repro_renaming.Experiment
 module Runner = Repro_renaming.Runner
 module A = Repro_renaming.Anonymous_renaming
+module Trace = Repro_obs.Trace
 open Cmdliner
 
 let n_arg =
@@ -35,6 +36,40 @@ let verbose_arg =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Print the full identity assignment.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL run trace (schema run-trace/v1, one \
+           record per round; see trace_cli) to $(docv). The file is \
+           byte-identical across repeated runs with the same arguments.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Pin the OCaml domain count used to fan out trials. Results \
+           (tables, traces) are bit-identical for every value; only the \
+           wall-clock changes.")
+
+let set_domains = Option.iter Repro_renaming.Parallel.set_domains
+
+(* The trace file must hit the disk before [report], which exits non-zero
+   on incorrect runs: a failing run's trace is exactly the one worth
+   keeping. *)
+let with_trace ~meta trace_path run =
+  match trace_path with
+  | None -> run None
+  | Some path ->
+      let t = Trace.create ~meta () in
+      let a = run (Some t) in
+      Trace.write_file t path;
+      a
+
 let resolve_namespace n namespace = if namespace = 0 then 64 * n else namespace
 
 let report verbose (a : Runner.assessment) =
@@ -53,19 +88,30 @@ let crash_adversary_conv =
       ("killer-partial", `Killer_partial); ("patient", `Patient) ]
 
 let crash_cmd =
-  let run n namespace f adversary seed verbose =
+  let run n namespace f adversary seed verbose trace domains =
+    set_domains domains;
     let namespace = resolve_namespace n namespace in
-    let adversary =
-      match adversary with
-      | `None -> E.No_crash
-      | `Random -> E.Random_crashes f
-      | `Killer -> E.Committee_killer f
-      | `Killer_partial -> E.Committee_killer_partial f
-      | `Patient -> E.Patient_killer f
+    let kind, adversary =
+      if f = 0 then ("none", E.No_crash)
+      else
+        match adversary with
+        | `None -> ("none", E.No_crash)
+        | `Random -> ("random", E.Random_crashes f)
+        | `Killer -> ("killer", E.Committee_killer f)
+        | `Killer_partial -> ("killer-partial", E.Committee_killer_partial f)
+        | `Patient -> ("patient", E.Patient_killer f)
     in
-    let adversary = if f = 0 then E.No_crash else adversary in
+    let meta =
+      [
+        ("algo", `Str "this-work-crash"); ("n", `Int n);
+        ("namespace", `Int namespace); ("f", `Int f);
+        ("adversary", `Str kind); ("seed", `Int seed);
+      ]
+    in
     report verbose
-      (E.run_crash ~protocol:E.This_work_crash ~n ~namespace ~adversary ~seed ())
+      (with_trace ~meta trace (fun tr ->
+           E.run_crash ?trace:tr ~protocol:E.This_work_crash ~n ~namespace
+             ~adversary ~seed ()))
   in
   let adversary_arg =
     Arg.(
@@ -79,25 +125,35 @@ let crash_cmd =
     (Cmd.info "crash" ~doc:"Run the crash-resilient committee renaming (§2).")
     Term.(
       const run $ n_arg $ namespace_arg $ f_arg $ adversary_arg $ seed_arg
-      $ verbose_arg)
+      $ verbose_arg $ trace_arg $ domains_arg)
 
 let byz_attack_conv =
   Arg.enum
     [ ("silent", `Silent); ("noise", `Noise); ("split-world", `Split) ]
 
 let byz_cmd =
-  let run n namespace f attack everyone seed verbose =
+  let run n namespace f attack everyone seed verbose trace domains =
+    set_domains domains;
     let namespace = resolve_namespace n namespace in
-    let adversary =
-      if f = 0 then E.No_byz
+    let kind, adversary =
+      if f = 0 then ("none", E.No_byz)
       else
         match attack with
-        | `Silent -> E.Silent_byz f
-        | `Noise -> E.Noise_byz f
-        | `Split -> E.Split_world_byz f
+        | `Silent -> ("silent", E.Silent_byz f)
+        | `Noise -> ("noise", E.Noise_byz f)
+        | `Split -> ("split-world", E.Split_world_byz f)
     in
     let protocol = if everyone then E.Everyone_byz else E.This_work_byz in
-    report verbose (E.run_byz ~protocol ~n ~namespace ~adversary ~seed ())
+    let meta =
+      [
+        ("algo", `Str (E.byz_protocol_name protocol)); ("n", `Int n);
+        ("namespace", `Int namespace); ("f", `Int f);
+        ("adversary", `Str kind); ("seed", `Int seed);
+      ]
+    in
+    report verbose
+      (with_trace ~meta trace (fun tr ->
+           E.run_byz ?trace:tr ~protocol ~n ~namespace ~adversary ~seed ()))
   in
   let attack_arg =
     Arg.(
@@ -117,31 +173,40 @@ let byz_cmd =
        ~doc:"Run the Byzantine-resilient order-preserving renaming (§3).")
     Term.(
       const run $ n_arg $ namespace_arg $ f_arg $ attack_arg $ everyone_arg
-      $ seed_arg $ verbose_arg)
+      $ seed_arg $ verbose_arg $ trace_arg $ domains_arg)
+
+let baseline_run protocol n namespace f seed verbose trace domains =
+  set_domains domains;
+  let namespace = resolve_namespace n namespace in
+  let kind, adversary =
+    if f = 0 then ("none", E.No_crash) else ("random", E.Random_crashes f)
+  in
+  let meta =
+    [
+      ("algo", `Str (E.crash_protocol_name protocol)); ("n", `Int n);
+      ("namespace", `Int namespace); ("f", `Int f); ("adversary", `Str kind);
+      ("seed", `Int seed);
+    ]
+  in
+  report verbose
+    (with_trace ~meta trace (fun tr ->
+         E.run_crash ?trace:tr ~protocol ~n ~namespace ~adversary ~seed ()))
 
 let flooding_cmd =
-  let run n namespace f seed verbose =
-    let namespace = resolve_namespace n namespace in
-    let adversary = if f = 0 then E.No_crash else E.Random_crashes f in
-    report verbose
-      (E.run_crash ~protocol:E.Flooding_baseline ~n ~namespace ~adversary ~seed
-         ())
-  in
   Cmd.v
     (Cmd.info "flooding" ~doc:"Run the full-information flooding baseline.")
-    Term.(const run $ n_arg $ namespace_arg $ f_arg $ seed_arg $ verbose_arg)
+    Term.(
+      const (baseline_run E.Flooding_baseline)
+      $ n_arg $ namespace_arg $ f_arg $ seed_arg $ verbose_arg $ trace_arg
+      $ domains_arg)
 
 let halving_cmd =
-  let run n namespace f seed verbose =
-    let namespace = resolve_namespace n namespace in
-    let adversary = if f = 0 then E.No_crash else E.Random_crashes f in
-    report verbose
-      (E.run_crash ~protocol:E.Halving_baseline ~n ~namespace ~adversary ~seed
-         ())
-  in
   Cmd.v
     (Cmd.info "halving" ~doc:"Run the all-to-all interval-halving baseline.")
-    Term.(const run $ n_arg $ namespace_arg $ f_arg $ seed_arg $ verbose_arg)
+    Term.(
+      const (baseline_run E.Halving_baseline)
+      $ n_arg $ namespace_arg $ f_arg $ seed_arg $ verbose_arg $ trace_arg
+      $ domains_arg)
 
 let lower_bound_cmd =
   let run n seed =
@@ -187,7 +252,8 @@ let sweep_crash_cmd =
       [ ("this-work", E.This_work_crash); ("halving", E.Halving_baseline);
         ("flooding", E.Flooding_baseline) ]
   in
-  let run protocol n namespace fs trials seed =
+  let run protocol n namespace fs trials seed domains =
+    set_domains domains;
     let namespace = resolve_namespace n namespace in
     let rows =
       List.map
@@ -225,10 +291,11 @@ let sweep_crash_cmd =
        ~doc:"Sweep the crash-failure count and tabulate costs.")
     Term.(
       const run $ protocol_arg $ n_arg $ namespace_arg $ fs_arg $ trials_arg
-      $ seed_arg)
+      $ seed_arg $ domains_arg)
 
 let sweep_byz_cmd =
-  let run n namespace fs seed =
+  let run n namespace fs seed domains =
+    set_domains domains;
     let namespace = resolve_namespace n namespace in
     let rows =
       List.map
@@ -257,7 +324,7 @@ let sweep_byz_cmd =
   Cmd.v
     (Cmd.info "sweep-byz"
        ~doc:"Sweep the Byzantine count under the split-world attack.")
-    Term.(const run $ n_arg $ namespace_arg $ fs_arg $ seed_arg)
+    Term.(const run $ n_arg $ namespace_arg $ fs_arg $ seed_arg $ domains_arg)
 
 let () =
   let info =

@@ -7,6 +7,7 @@ module Runner = Repro_renaming.Runner
 module CR = Repro_renaming.Crash_renaming
 module BR = Repro_renaming.Byzantine_renaming
 module Byz_strategies = Repro_renaming.Byz_strategies
+module Trace = Repro_obs.Trace
 
 type config = {
   algo : Schedule.algo;
@@ -120,11 +121,19 @@ let trace_line buf ~round ~src ~dst pp msg =
     dst
     (Format.asprintf "%a" pp msg)
 
-let run_crash ?trace (s : Schedule.t) : Oracle.verdict =
+(* Structured-trace hooks, shared by both runners; each is a no-op when
+   [jsonl] is absent. *)
+let jsonl_hooks jsonl =
+  ( Option.map (fun t ~round ~id -> Trace.on_crash t ~round ~id) jsonl,
+    Option.map (fun t ~round ~id -> Trace.on_decide t ~round ~id) jsonl,
+    Option.map (fun t ~round m -> Trace.on_round_end t ~round m) jsonl )
+
+let run_crash ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
   let ids = crash_ids_of s in
   let params = CR.experiment_params in
   let round_bound = crash_round_bound ~n:s.n in
   let stats = Oracle.new_stats () in
+  let on_crash, on_decide, on_round_end = jsonl_hooks jsonl in
   let tap ~round (e : CR.Net.envelope) =
     let bits = CR.Msg.bits e.msg in
     let wire_ok =
@@ -132,6 +141,7 @@ let run_crash ?trace (s : Schedule.t) : Oracle.verdict =
       blen = bits && CR.Msg.decode enc = Some e.msg
     in
     Oracle.observe_honest stats ~bits ~wire_ok;
+    Option.iter (fun t -> Trace.on_message t ~bits) jsonl;
     match trace with
     | Some buf -> trace_line buf ~round ~src:e.src ~dst:e.dst CR.Msg.pp e.msg
     | None -> ()
@@ -139,16 +149,18 @@ let run_crash ?trace (s : Schedule.t) : Oracle.verdict =
   match
     CR.Net.run ~ids
       ~crash:(CR.Net.Crash.scripted (scripted_events s))
-      ~tap
+      ~tap ?on_crash ?on_decide ?on_round_end
       ~max_rounds:(round_bound + 8)
       ~seed:s.seed ~program:(CR.program params) ()
   with
-  | res -> Oracle.check (crash_expectations s) (Runner.assess res) res.metrics stats
+  | res ->
+      Option.iter (fun t -> Trace.finish t res.Engine.metrics) jsonl;
+      Oracle.check (crash_expectations s) (Runner.assess res) res.metrics stats
   | exception Engine.Max_rounds_exceeded _ ->
       Oracle.no_termination ~round_bound
   | exception e -> Oracle.crashed_run e
 
-let run_byz ?trace (s : Schedule.t) : Oracle.verdict =
+let run_byz ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
   let ids = byz_ids_of s in
   let n = s.n in
   let params =
@@ -176,15 +188,17 @@ let run_byz ?trace (s : Schedule.t) : Oracle.verdict =
   in
   let byz_set = List.map fst behaviors in
   let stats = Oracle.new_stats () in
+  let on_crash, on_decide, on_round_end = jsonl_hooks jsonl in
   let tap ~round (e : BR.Net.envelope) =
+    let bits = BR.Msg.bits e.msg in
     (if List.mem e.src byz_set then Oracle.observe_byz stats
      else
-       let bits = BR.Msg.bits e.msg in
        let wire_ok =
          let enc, blen = BR.Msg.encode e.msg in
          blen = bits && BR.Msg.decode enc = Some e.msg
        in
        Oracle.observe_honest stats ~bits ~wire_ok);
+    Option.iter (fun t -> Trace.on_message t ~bits) jsonl;
     match trace with
     | Some buf -> trace_line buf ~round ~src:e.src ~dst:e.dst BR.Msg.pp e.msg
     | None -> ()
@@ -192,18 +206,20 @@ let run_byz ?trace (s : Schedule.t) : Oracle.verdict =
   match
     BR.Net.run ~ids ?byz
       ~crash:(BR.Net.Crash.scripted (scripted_events s))
-      ~tap ~max_rounds:byz_round_bound ~seed:s.seed
-      ~program:(BR.program params) ()
+      ~tap ?on_crash ?on_decide ?on_round_end ~max_rounds:byz_round_bound
+      ~seed:s.seed ~program:(BR.program params) ()
   with
-  | res -> Oracle.check (byz_expectations s) (Runner.assess res) res.metrics stats
+  | res ->
+      Option.iter (fun t -> Trace.finish t res.Engine.metrics) jsonl;
+      Oracle.check (byz_expectations s) (Runner.assess res) res.metrics stats
   | exception Engine.Max_rounds_exceeded _ ->
       Oracle.no_termination ~round_bound:byz_round_bound
   | exception e -> Oracle.crashed_run e
 
-let run ?trace (s : Schedule.t) =
+let run ?trace ?jsonl (s : Schedule.t) =
   match s.algo with
-  | Schedule.Crash -> run_crash ?trace s
-  | Schedule.Byz -> run_byz ?trace s
+  | Schedule.Crash -> run_crash ?trace ?jsonl s
+  | Schedule.Byz -> run_byz ?trace ?jsonl s
 
 (* {2 Generation} *)
 
@@ -275,12 +291,12 @@ let first_failure reports =
 
 (* {2 Replay} *)
 
-let replay (s : Schedule.t) =
+let replay ?jsonl (s : Schedule.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== schedule ==\n";
   Buffer.add_string buf (Schedule.to_string s);
   Buffer.add_string buf "== trace ==\n";
-  let v = run ~trace:buf s in
+  let v = run ~trace:buf ?jsonl s in
   Buffer.add_string buf "== verdict ==\n";
   (match v.Oracle.assessment with
   | Some a ->

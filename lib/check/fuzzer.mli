@@ -47,10 +47,16 @@ val generate : config -> int -> Schedule.t
     bench harness's seed stride, so any trial can be reproduced in
     isolation from its recorded schedule alone). *)
 
-val run : ?trace:Buffer.t -> Schedule.t -> Oracle.verdict
+val run :
+  ?trace:Buffer.t -> ?jsonl:Repro_obs.Trace.t -> Schedule.t -> Oracle.verdict
 (** Execute one schedule and judge it. When [trace] is given, every
     envelope the tap observes is appended to it as one line
-    ([r<round> <src> -> <dst> <msg>]) in deterministic order. *)
+    ([r<round> <src> -> <dst> <msg>]) in deterministic order. When
+    [jsonl] is given, the run is recorded into that structured trace
+    (per-round accounting rows, size histogram, crash/decide events) and
+    [Trace.finish] is called before the oracle verdict — unless the run
+    aborted (round-bound exceeded or an exception), in which case the
+    recorder is left unfinished. *)
 
 type report = {
   index : int;
@@ -66,8 +72,9 @@ val campaign : ?domains:int -> config -> report list
 
 val first_failure : report list -> report option
 
-val replay : Schedule.t -> string * Oracle.verdict
+val replay : ?jsonl:Repro_obs.Trace.t -> Schedule.t -> string * Oracle.verdict
 (** Full deterministic replay: returns the schedule text, the complete
     envelope trace, the assessment summary and the verdict as one
     printable document. Replaying the same schedule twice yields
-    byte-identical output. *)
+    byte-identical output. [jsonl] additionally records the structured
+    run trace, exactly as in {!run}. *)

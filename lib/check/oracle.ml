@@ -121,4 +121,12 @@ let check exp (a : Runner.assessment) (m : Metrics.t) st =
   if m.Metrics.crashes > exp.max_faults then
     add "crashes: adversary spent %d crashes, schedule scripts at most %d"
       m.Metrics.crashes exp.max_faults;
+  (* Per-round accounting closure: the chronological rows must sum to the
+     run totals field by field — the invariant every per-round bit-budget
+     argument in the paper silently relies on. *)
+  List.iter
+    (fun (field, per_round_sum, total) ->
+      add "metrics: per-round %s sum %d != total %d" field per_round_sum
+        total)
+    (Metrics.reconcile m);
   { violations = List.rev !v; assessment = Some a }

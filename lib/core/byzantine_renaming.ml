@@ -513,10 +513,12 @@ let program ?telemetry params ctx =
   in
   collect_new_identity ctx ~view first_inbox
 
-let run ?telemetry ~params ?byz ?max_rounds ?seed ~ids () =
+let run ?telemetry ~params ?byz ?tap ?on_crash ?on_decide ?on_round_end
+    ?max_rounds ?seed ~ids () =
   Array.iter
     (fun id ->
       if id < 1 || id > params.namespace then
         invalid_arg "Byzantine_renaming.run: identity outside namespace")
     ids;
-  Net.run ~ids ?byz ?max_rounds ?seed ~program:(program ?telemetry params) ()
+  Net.run ~ids ?byz ?tap ?on_crash ?on_decide ?on_round_end ?max_rounds ?seed
+    ~program:(program ?telemetry params) ()

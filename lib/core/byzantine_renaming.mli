@@ -131,6 +131,10 @@ val run :
   ?telemetry:telemetry ->
   params:params ->
   ?byz:int list * Net.byz_strategy ->
+  ?tap:(round:int -> Net.envelope -> unit) ->
+  ?on_crash:(round:int -> id:int -> unit) ->
+  ?on_decide:(round:int -> id:int -> unit) ->
+  ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?max_rounds:int ->
   ?seed:int ->
   ids:int array ->

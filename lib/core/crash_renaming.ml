@@ -364,5 +364,7 @@ let program ?telemetry params ctx =
   assert (Interval.is_singleton st.iv);
   Interval.point st.iv
 
-let run ?(params = experiment_params) ?telemetry ?crash ?seed ~ids () =
-  Net.run ~ids ?crash ?seed ~program:(program ?telemetry params) ()
+let run ?(params = experiment_params) ?telemetry ?crash ?tap ?on_crash
+    ?on_decide ?on_round_end ?seed ~ids () =
+  Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
+    ~program:(program ?telemetry params) ()

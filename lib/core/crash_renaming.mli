@@ -93,7 +93,15 @@ val run :
   ?params:params ->
   ?telemetry:telemetry ->
   ?crash:Net.crash_adversary ->
+  ?tap:(round:int -> Net.envelope -> unit) ->
+  ?on_crash:(round:int -> id:int -> unit) ->
+  ?on_decide:(round:int -> id:int -> unit) ->
+  ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?seed:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
+(** Convenience wrapper around {!Net.run}; the optional [tap] and
+    [on_*] observability hooks are passed straight through (see
+    [Engine.run] for their contracts — [Experiment] wires them to a
+    [Repro_obs.Trace] recorder). *)

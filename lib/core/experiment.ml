@@ -1,5 +1,6 @@
 module Rng = Repro_util.Rng
 module Ilog = Repro_util.Ilog
+module Trace = Repro_obs.Trace
 
 let random_ids ~seed ~namespace ~n =
   if n > namespace then invalid_arg "Experiment.random_ids: n > namespace";
@@ -50,9 +51,17 @@ let byz_adversary_f = function
    protocol (flooding with f+1 rounds, or 12·log n rounds). *)
 let crash_horizon ~n ~f = max (f + 2) (12 * max 1 (Ilog.ceil_log2 n))
 
-let run_crash ~protocol ~n ~namespace ~adversary ~seed () =
+(* Protocol-independent trace hooks; the [tap] (which needs the
+   protocol's [Msg.bits]) is wired per branch below. *)
+let trace_hooks trace =
+  ( Option.map (fun t ~round ~id -> Trace.on_crash t ~round ~id) trace,
+    Option.map (fun t ~round ~id -> Trace.on_decide t ~round ~id) trace,
+    Option.map (fun t ~round m -> Trace.on_round_end t ~round m) trace )
+
+let run_crash ?trace ~protocol ~n ~namespace ~adversary ~seed () =
   let ids = random_ids ~seed:(seed lxor 0x1d5) ~namespace ~n in
   let rng = Rng.of_seed (seed lxor 0xadce5) in
+  let on_crash, on_decide, on_round_end = trace_hooks trace in
   (* The engine is a functor, so each protocol carries its own adversary
      type; this local functor builds the matching strategy. *)
   let module Adversary (C : sig
@@ -86,14 +95,28 @@ let run_crash ~protocol ~n ~namespace ~adversary ~seed () =
 
           include Crash_renaming.Net.Crash
         end) in
-        Crash_renaming.run ~ids ~crash:(A.make adversary) ~seed ()
+        let tap =
+          Option.map
+            (fun t ~round:_ (e : Crash_renaming.Net.envelope) ->
+              Trace.on_message t ~bits:(Crash_renaming.Msg.bits e.msg))
+            trace
+        in
+        Crash_renaming.run ~ids ~crash:(A.make adversary) ?tap ?on_crash
+          ?on_decide ?on_round_end ~seed ()
     | Halving_baseline ->
         let module A = Adversary (struct
           type adv = Halving_renaming.Net.crash_adversary
 
           include Halving_renaming.Net.Crash
         end) in
-        Halving_renaming.run ~ids ~crash:(A.make adversary) ~seed ()
+        let tap =
+          Option.map
+            (fun t ~round:_ (e : Halving_renaming.Net.envelope) ->
+              Trace.on_message t ~bits:(Halving_renaming.Msg.bits e.msg))
+            trace
+        in
+        Halving_renaming.run ~ids ~crash:(A.make adversary) ?tap ?on_crash
+          ?on_decide ?on_round_end ~seed ()
     | Flooding_baseline ->
         let module A = Adversary (struct
           type adv = Flooding_renaming.Net.crash_adversary
@@ -103,8 +126,16 @@ let run_crash ~protocol ~n ~namespace ~adversary ~seed () =
         let params =
           { Flooding_renaming.rounds = `Tolerate (crash_adversary_f adversary) }
         in
-        Flooding_renaming.run ~params ~ids ~crash:(A.make adversary) ~seed ()
+        let tap =
+          Option.map
+            (fun t ~round:_ (e : Flooding_renaming.Net.envelope) ->
+              Trace.on_message t ~bits:(Flooding_renaming.Msg.bits e.msg))
+            trace
+        in
+        Flooding_renaming.run ~params ~ids ~crash:(A.make adversary) ?tap
+          ?on_crash ?on_decide ?on_round_end ~seed ()
   in
+  Option.iter (fun t -> Trace.finish t res.Repro_sim.Engine.metrics) trace;
   Runner.assess res
 
 let committee_pool_probability ~n =
@@ -113,7 +144,7 @@ let committee_pool_probability ~n =
     let log_n = log (float_of_int n) /. log 2. in
     Float.min 1. (4. *. log_n /. float_of_int n)
 
-let run_byz ~protocol ~n ~namespace ~adversary ?pool_probability
+let run_byz ?trace ~protocol ~n ~namespace ~adversary ?pool_probability
     ?(reconcile = Byzantine_renaming.Fingerprint_dnc)
     ?(consensus = Byzantine_renaming.Phase_king_consensus) ~seed () =
   let ids = random_ids ~seed:(seed lxor 0x2e7) ~namespace ~n in
@@ -153,7 +184,18 @@ let run_byz ~protocol ~n ~namespace ~adversary ?pool_probability
     | Split_world_byz _ -> Byz_strategies.split_world params ~rng ~ids
   in
   let byz = if f = 0 then None else Some (byz_ids, strategy) in
-  let res = Byzantine_renaming.run ~params ?byz ~max_rounds:400_000 ~seed ~ids () in
+  let on_crash, on_decide, on_round_end = trace_hooks trace in
+  let tap =
+    Option.map
+      (fun t ~round:_ (e : Byzantine_renaming.Net.envelope) ->
+        Trace.on_message t ~bits:(Byzantine_renaming.Msg.bits e.msg))
+      trace
+  in
+  let res =
+    Byzantine_renaming.run ~params ?byz ?tap ?on_crash ?on_decide ?on_round_end
+      ~max_rounds:400_000 ~seed ~ids ()
+  in
+  Option.iter (fun t -> Trace.finish t res.Repro_sim.Engine.metrics) trace;
   Runner.assess res
 
 (* {1 Reporting} *)
@@ -161,10 +203,14 @@ let run_byz ~protocol ~n ~namespace ~adversary ?pool_probability
 (* Optional CSV sink: when RENAMING_CSV_DIR is set, every printed table
    is also written there as <slug>.csv for plotting. *)
 let csv_slug title =
+  (* Keep the title up to the first colon or the first non-ASCII byte:
+     every multi-byte UTF-8 sequence starts with a byte >= 0x80, so this
+     cuts before any dash/arrow/ellipsis glyph, not just the U+2014
+     family whose lead byte happens to be '\xe2'. *)
   let stop = ref (String.length title) in
   String.iteri
     (fun i c ->
-      if (c = '\xe2' || c = ':') && i < !stop then stop := i)
+      if (Char.code c >= 0x80 || c = ':') && i < !stop then stop := i)
     title;
   let prefix = String.sub title 0 !stop in
   let buf = Buffer.create 32 in
@@ -200,21 +246,37 @@ let csv_escape cell =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
   else cell
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* A concurrent writer may have won the race; only a still-missing
+       directory is an error. *)
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
 let write_csv ~title ~header ~rows =
   match Sys.getenv_opt "RENAMING_CSV_DIR" with
-  | None -> ()
+  | None | Some "" -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       let path = Filename.concat dir (csv_slug title ^ ".csv") in
-      let oc = open_out path in
-      List.iter
-        (fun row ->
-          output_string oc
-            (String.concat ","
-               (List.map (fun c -> csv_escape (csv_normalize c)) row));
-          output_char oc '\n')
-        (header :: rows);
-      close_out oc
+      (* Write to a temp file and rename so readers never observe a
+         truncated table, even if a row formatter raises mid-write. *)
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          List.iter
+            (fun row ->
+              output_string oc
+                (String.concat ","
+                   (List.map (fun c -> csv_escape (csv_normalize c)) row));
+              output_char oc '\n')
+            (header :: rows));
+      Sys.rename tmp path
 
 let print_table ~title ~header ~rows =
   write_csv ~title ~header ~rows;
@@ -250,7 +312,13 @@ let averaged ?domains ~trials ~seed run =
     (fun (a : Runner.assessment) ->
       if not a.correct then
         failwith
-          (Format.asprintf "Experiment.averaged: incorrect run: %a" Runner.pp a))
+          (Format.asprintf "Experiment.averaged: incorrect run: %a" Runner.pp a);
+      if not (Runner.reconciles a) then
+        failwith
+          (Format.asprintf
+             "Experiment.averaged: per-round accounting does not reconcile \
+              with totals: %a"
+             Runner.pp a))
     assessments;
   let meanf f =
     List.fold_left (fun acc a -> acc +. f a) 0. assessments

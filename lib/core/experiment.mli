@@ -37,6 +37,7 @@ val crash_adversary_f : crash_adversary -> int
 val byz_adversary_f : byz_adversary -> int
 
 val run_crash :
+  ?trace:Repro_obs.Trace.t ->
   protocol:crash_protocol ->
   n:int ->
   namespace:int ->
@@ -46,9 +47,16 @@ val run_crash :
   Runner.assessment
 (** One execution. The flooding baseline is given the adversary's true
     [f] (it runs [f+1] rounds) — the most favourable configuration for
-    the baseline. *)
+    the baseline.
+
+    When [trace] is given, the run is recorded into it — per-round rows
+    via the engine hooks, the on-wire size histogram via [tap] — and
+    {!Repro_obs.Trace.finish} is called on the run's metrics before the
+    assessment is computed, so the recorder holds a complete run record
+    when this returns. *)
 
 val run_byz :
+  ?trace:Repro_obs.Trace.t ->
   protocol:byz_protocol ->
   n:int ->
   namespace:int ->
@@ -61,25 +69,38 @@ val run_byz :
   Runner.assessment
 (** One execution; [pool_probability] defaults to [min 1 (4·log₂ n / n)],
     giving Θ(log n) expected committee members among the nodes;
-    [reconcile] defaults to the paper's fingerprint divide-and-conquer. *)
+    [reconcile] defaults to the paper's fingerprint divide-and-conquer.
+    [trace] records the run exactly as in {!run_crash}. *)
 
 val committee_pool_probability : n:int -> float
 
 (** {1 Reporting} *)
 
+val csv_slug : string -> string
+(** Filename slug for a table title: the title up to the first colon or
+    the first non-ASCII byte (em-dashes and other typographic glyphs are
+    multi-byte UTF-8, so this cuts before any of them, not just U+2014),
+    lowercased, with separator runs collapsed to single underscores and
+    no leading/trailing underscore. *)
+
+val write_csv :
+  title:string -> header:string list -> rows:string list list -> unit
+(** When [RENAMING_CSV_DIR] is set and non-empty, write the table there as
+    [<csv_slug title>.csv] — creating the directory recursively, via a
+    temp file renamed into place (readers never observe a truncated
+    table) with the channel closed on all paths. No-op otherwise. *)
+
 val print_table :
   title:string -> header:string list -> rows:string list list -> unit
-(** Render an aligned plain-text table on stdout. When the environment
-    variable [RENAMING_CSV_DIR] is set, the table is additionally written
-    there as [<slug>.csv] (slug derived from the title up to the first
-    dash/colon) for plotting. *)
+(** Render an aligned plain-text table on stdout, and {!write_csv} it. *)
 
 val averaged :
   ?domains:int ->
   trials:int -> seed:int -> (seed:int -> Runner.assessment) ->
   Runner.assessment * float * float * float
 (** Run [trials] seeds; return the last assessment plus the mean rounds,
-    messages and bits across trials. Raises if any trial is incorrect.
+    messages and bits across trials. Raises if any trial is incorrect or
+    if any trial's per-round accounting fails {!Runner.reconciles}.
 
     Trials are fanned across [domains] OCaml domains (default
     {!Parallel.default_domains}) by {!Parallel.map_list}: the seed

@@ -77,5 +77,7 @@ let program params ctx =
   let rank = Iset.cardinal (Iset.filter (fun i -> i <= Net.my_id ctx) !known) in
   rank
 
-let run ?(params = default_params) ?crash ?seed ~ids () =
-  Net.run ~ids ?crash ?seed ~program:(program params) ()
+let run ?(params = default_params) ?crash ?tap ?on_crash ?on_decide
+    ?on_round_end ?seed ~ids () =
+  Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
+    ~program:(program params) ()

@@ -43,7 +43,13 @@ val program : params -> Net.ctx -> int
 val run :
   ?params:params ->
   ?crash:Net.crash_adversary ->
+  ?tap:(round:int -> Net.envelope -> unit) ->
+  ?on_crash:(round:int -> id:int -> unit) ->
+  ?on_decide:(round:int -> id:int -> unit) ->
+  ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?seed:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
+(** Convenience wrapper around {!Net.run}; the observability hooks pass
+    straight through to [Engine.run]. *)

@@ -13,4 +13,6 @@ let params =
 
 let program ctx = Crash_renaming.program params ctx
 
-let run ?crash ?seed ~ids () = Crash_renaming.run ~params ?crash ?seed ~ids ()
+let run ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed ~ids () =
+  Crash_renaming.run ~params ?crash ?tap ?on_crash ?on_decide ?on_round_end
+    ?seed ~ids ()

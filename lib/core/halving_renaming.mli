@@ -26,7 +26,13 @@ val params : Crash_renaming.params
 val program : Net.ctx -> int
 val run :
   ?crash:Net.crash_adversary ->
+  ?tap:(round:int -> Net.envelope -> unit) ->
+  ?on_crash:(round:int -> id:int -> unit) ->
+  ?on_decide:(round:int -> id:int -> unit) ->
+  ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?seed:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
+(** Wrapper over {!Crash_renaming.run} with the all-to-all parameters;
+    the observability hooks pass straight through to [Engine.run]. *)

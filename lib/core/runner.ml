@@ -15,7 +15,10 @@ type assessment = {
   rounds : int;
   messages : int;
   bits : int;
+  byz_messages : int;
+  byz_bits : int;
   crash_cost : int;
+  per_round : Metrics.round_row array;
 }
 
 let assess (res : int Engine.run_result) =
@@ -49,8 +52,18 @@ let assess (res : int Engine.run_result) =
     rounds = res.metrics.Metrics.rounds;
     messages = res.metrics.Metrics.honest_messages;
     bits = res.metrics.Metrics.honest_bits;
+    byz_messages = res.metrics.Metrics.byz_messages;
+    byz_bits = res.metrics.Metrics.byz_bits;
     crash_cost = res.metrics.Metrics.crashes;
+    per_round = Metrics.per_round res.metrics;
   }
+
+let reconciles a =
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 a.per_round in
+  sum (fun (r : Metrics.round_row) -> r.Metrics.hmsgs) = a.messages
+  && sum (fun r -> r.Metrics.hbits) = a.bits
+  && sum (fun r -> r.Metrics.bmsgs) = a.byz_messages
+  && sum (fun r -> r.Metrics.bbits) = a.byz_bits
 
 let pp ppf a =
   Format.fprintf ppf

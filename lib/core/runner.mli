@@ -19,11 +19,21 @@ type assessment = {
       (** original order = new order among decided nodes *)
   correct : bool;  (** unique && strong && no node unfinished *)
   rounds : int;
-  messages : int;
-  bits : int;
+  messages : int;  (** honest messages (the algorithm's expenditure) *)
+  bits : int;  (** honest bits *)
+  byz_messages : int;  (** the Byzantine adversary's expenditure *)
+  byz_bits : int;
   crash_cost : int;  (** crashes the adversary actually spent *)
+  per_round : Repro_sim.Metrics.round_row array;
+      (** chronological per-round accounting rows; sums reconcile with
+          the totals above (checked by {!reconciles}, enforced in
+          [Experiment.averaged] and the [lib/check] oracles) *)
 }
 
 val assess : int Repro_sim.Engine.run_result -> assessment
+
+val reconciles : assessment -> bool
+(** The per-round rows sum to the four totals, field by field. False
+    means the accounting itself is buggy, never the algorithm. *)
 
 val pp : Format.formatter -> assessment -> unit

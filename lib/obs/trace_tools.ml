@@ -1,0 +1,253 @@
+(* Consumers of the run-trace JSONL format written by [Trace]. The
+   format is this repository's own, with a fixed field order and
+   canonical lists, so the "parser" here is a deliberate small scanner
+   over that shape rather than a general JSON reader — and the diff is
+   exact string comparison of canonical lines. *)
+
+let is_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_int_at s i =
+  let n = String.length s in
+  let j = if i < n && s.[i] = '-' then i + 1 else i in
+  let rec stop k = if k < n && s.[k] >= '0' && s.[k] <= '9' then stop (k + 1) else k in
+  let k = stop j in
+  if k = j then None
+  else int_of_string_opt (String.sub s i (k - i)) |> Option.map (fun v -> (v, k))
+
+let int_field line key =
+  match find_sub line ("\"" ^ key ^ "\":") with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 3 in
+      Option.map fst (parse_int_at line start)
+
+let int_list_field line key =
+  match find_sub line ("\"" ^ key ^ "\":[") with
+  | None -> None
+  | Some i ->
+      let pos = ref (i + String.length key + 4) in
+      let acc = ref [] in
+      let ok = ref true in
+      let n = String.length line in
+      let rec loop () =
+        if !pos >= n then ok := false
+        else if line.[!pos] = ']' then ()
+        else
+          match parse_int_at line !pos with
+          | None -> ok := false
+          | Some (v, k) ->
+              acc := v :: !acc;
+              pos := k;
+              if !pos < n && line.[!pos] = ',' then begin
+                incr pos;
+                loop ()
+              end
+      in
+      loop ();
+      if !ok then Some (List.rev !acc) else None
+
+(* [[bits,count],...] — the size histogram. *)
+let pairs_field line key =
+  match find_sub line ("\"" ^ key ^ "\":[") with
+  | None -> None
+  | Some i ->
+      let pos = ref (i + String.length key + 4) in
+      let acc = ref [] in
+      let ok = ref true in
+      let n = String.length line in
+      let rec loop () =
+        if !pos >= n then ok := false
+        else if line.[!pos] = ']' then ()
+        else if line.[!pos] <> '[' then ok := false
+        else
+          match parse_int_at line (!pos + 1) with
+          | None -> ok := false
+          | Some (a, k) when k < n && line.[k] = ',' -> (
+              match parse_int_at line (k + 1) with
+              | Some (b, k2) when k2 < n && line.[k2] = ']' ->
+                  acc := (a, b) :: !acc;
+                  pos := k2 + 1;
+                  if !pos < n && line.[!pos] = ',' then begin
+                    incr pos;
+                    loop ()
+                  end
+              | _ -> ok := false)
+          | Some _ -> ok := false
+      in
+      loop ();
+      if !ok then Some (List.rev !acc) else None
+
+let strip_int_field line key =
+  match find_sub line (",\"" ^ key ^ "\":") with
+  | None -> line
+  | Some i -> (
+      let start = i + String.length key + 4 in
+      match parse_int_at line start with
+      | None -> line
+      | Some (_, k) ->
+          String.sub line 0 i ^ String.sub line k (String.length line - k))
+
+let strip_timings line =
+  strip_int_field (strip_int_field line "wall_ns") "alloc_words"
+
+let lines_of text =
+  String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+
+let round_lines text =
+  List.filter (is_prefix "{\"type\":\"round\"") (lines_of text)
+
+let summary_line text =
+  List.find_opt (is_prefix "{\"type\":\"summary\"") (lines_of text)
+
+(* {2 Diff} *)
+
+type divergence = {
+  d_round : int;
+  d_left : string option;  (** [None]: this side's trace ended early *)
+  d_right : string option;
+}
+
+type diff_result =
+  | Identical of int  (** number of round records compared *)
+  | Diverged of divergence
+  | Summary_mismatch of { s_left : string; s_right : string }
+
+let diff ~left ~right =
+  let la = List.map strip_timings (round_lines left) in
+  let lb = List.map strip_timings (round_lines right) in
+  let round_of line fallback =
+    match int_field line "round" with Some r -> r | None -> fallback
+  in
+  let rec go i = function
+    | [], [] -> (
+        match (summary_line left, summary_line right) with
+        | Some a, Some b when a <> b -> Summary_mismatch { s_left = a; s_right = b }
+        | _ -> Identical i)
+    | a :: _, [] ->
+        Diverged { d_round = round_of a i; d_left = Some a; d_right = None }
+    | [], b :: _ ->
+        Diverged { d_round = round_of b i; d_left = None; d_right = Some b }
+    | a :: ra, b :: rb ->
+        if a = b then go (i + 1) (ra, rb)
+        else Diverged { d_round = round_of a i; d_left = Some a; d_right = Some b }
+  in
+  go 0 (la, lb)
+
+(* {2 Summary} *)
+
+type summary_report = {
+  text : string;
+  reconciled : bool;
+      (** per-round sums equal the summary line's totals (vacuously true
+          when the trace has no summary line, which is reported as
+          truncated in [text]) *)
+}
+
+let summarize trace =
+  let rounds = round_lines trace in
+  let req line key =
+    match int_field line key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S in: %s" key line)
+  in
+  let ( let* ) = Result.bind in
+  let rec fold acc = function
+    | [] -> Ok acc
+    | line :: rest ->
+        let hm_sum, hb_sum, bm_sum, bb_sum, crashes, decides, max_bits, busiest
+            =
+          acc
+        in
+        let* hm = req line "honest_msgs" in
+        let* hb = req line "honest_bits" in
+        let* bm = req line "byz_msgs" in
+        let* bb = req line "byz_bits" in
+        let* r = req line "round" in
+        let cr =
+          match int_list_field line "crashes" with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        let de =
+          match int_list_field line "decides" with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        let mx =
+          match pairs_field line "sizes" with
+          | Some pairs -> List.fold_left (fun m (b, _) -> max m b) max_bits pairs
+          | None -> max_bits
+        in
+        let busiest =
+          match busiest with
+          | Some (_, best) when best >= hm + bm -> busiest
+          | _ -> Some (r, hm + bm)
+        in
+        fold
+          ( hm_sum + hm,
+            hb_sum + hb,
+            bm_sum + bm,
+            bb_sum + bb,
+            crashes + cr,
+            decides + de,
+            mx,
+            busiest )
+          rest
+  in
+  let* hm, hb, bm, bb, crashes, decides, max_bits, busiest =
+    fold (0, 0, 0, 0, 0, 0, 0, None) rounds
+  in
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "rounds:   %d" (List.length rounds);
+  line "honest:   %d msgs, %d bits" hm hb;
+  line "byz:      %d msgs, %d bits" bm bb;
+  line "crashes:  %d" crashes;
+  line "decides:  %d" decides;
+  line "max msg:  %d bits (on wire)" max_bits;
+  (match busiest with
+  | Some (r, m) -> line "busiest:  round %d (%d msgs)" r m
+  | None -> ());
+  let reconciled =
+    match summary_line trace with
+    | None ->
+        line "summary:  MISSING (trace truncated?)";
+        true
+    | Some s ->
+        let tot key = int_field s key in
+        let check label sum key =
+          match tot key with
+          | Some t when t = sum -> true
+          | Some t ->
+              line "summary:  MISMATCH %s: per-round sum %d, summary total %d"
+                label sum t;
+              false
+          | None ->
+              line "summary:  missing field %s" key;
+              false
+        in
+        let ok =
+          List.for_all Fun.id
+            [
+              check "honest msgs" hm "honest_msgs";
+              check "honest bits" hb "honest_bits";
+              check "byz msgs" bm "byz_msgs";
+              check "byz bits" bb "byz_bits";
+              check "rounds" (List.length rounds) "rounds";
+            ]
+        in
+        if ok then line "summary:  reconciles with per-round rows";
+        ok
+  in
+  Ok { text = Buffer.contents b; reconciled }

@@ -102,8 +102,8 @@ module Make (M : MSG) = struct
      no-fault executions skip observation construction entirely. *)
   let no_crash : crash_adversary = fun _ -> []
 
-  let run ~ids ?byz ?(crash = no_crash) ?tap ?(max_rounds = 100_000)
-      ?(seed = 1) ~program () =
+  let run ~ids ?byz ?(crash = no_crash) ?tap ?on_crash ?on_decide
+      ?on_round_end ?(max_rounds = 100_000) ?(seed = 1) ~program () =
     let n = Array.length ids in
     (* Dense slot indexing: one id → slot table built at start; all
        per-node state lives in arrays indexed by slot. *)
@@ -151,6 +151,25 @@ module Make (M : MSG) = struct
       Array.of_list (List.map (fun b -> Hashtbl.find slot_of b) byz_list)
     in
     let metrics = Metrics.create () in
+    (* Observability hooks, resolved once so the hookless hot path pays a
+       single physical-equality-style branch per event. All three fire in
+       deterministic order (crashes before delivery, decides in array
+       order at the barrier, the round boundary last). *)
+    let note_crash =
+      match on_crash with
+      | Some f -> fun ~round id -> f ~round ~id
+      | None -> fun ~round:_ _ -> ()
+    in
+    let note_decide =
+      match on_decide with
+      | Some f -> fun ~round id -> f ~round ~id
+      | None -> fun ~round:_ _ -> ()
+    in
+    let note_round_end =
+      match on_round_end with
+      | Some f -> fun ~round -> f ~round metrics
+      | None -> fun ~round:_ -> ()
+    in
     let master_rng = Repro_util.Rng.of_seed seed in
     let current_round = ref 0 in
     let running_count = ref 0 in
@@ -170,7 +189,11 @@ module Make (M : MSG) = struct
         in
         states.(s) <-
           (match start_fiber program ctx with
-          | Done r -> Finished r
+          | Done r ->
+              (* Decided without ever exchanging: attributed to round 0,
+                 the round about to execute. *)
+              note_decide ~round:0 ids.(s);
+              Finished r
           | step ->
               incr running_count;
               Running step)
@@ -328,11 +351,13 @@ module Make (M : MSG) = struct
                       filters.(s) <- Some delivered;
                       states.(s) <- Dead round_no;
                       decr running_count;
-                      Metrics.record_crash metrics
+                      Metrics.record_crash metrics;
+                      note_crash ~round:round_no victim
                   | Finished _ ->
                       filters.(s) <- Some delivered;
                       states.(s) <- Dead round_no;
-                      Metrics.record_crash metrics
+                      Metrics.record_crash metrics;
+                      note_crash ~round:round_no victim
                   | Dead _ | Byz_node -> ())
               orders;
             filters
@@ -440,10 +465,18 @@ module Make (M : MSG) = struct
                 (match Effect.Deep.continue k inbox with
                 | Done r ->
                     decr running_count;
+                    (* The inbox of [round_no] is what let the node
+                       decide, so the decision belongs to that round even
+                       though [current_round] already moved on. *)
+                    note_decide ~round:round_no ids.(s);
                     Finished r
                 | step -> Running step)
           | Running (Done _) | Finished _ | Dead _ | Byz_node -> ()
         done;
+        (* Round boundary: after the resumes, so decisions taken on this
+           round's inboxes are already reported when the hook fires. The
+           metrics row for [round_no] is closed at this point. *)
+        note_round_end ~round:round_no;
         loop ()
       end
     in

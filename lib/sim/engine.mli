@@ -140,6 +140,9 @@ module Make (M : MSG) : sig
     ?byz:int list * byz_strategy ->
     ?crash:crash_adversary ->
     ?tap:(round:int -> envelope -> unit) ->
+    ?on_crash:(round:int -> id:int -> unit) ->
+    ?on_decide:(round:int -> id:int -> unit) ->
+    ?on_round_end:(round:int -> Metrics.t -> unit) ->
     ?max_rounds:int ->
     ?seed:int ->
     program:(ctx -> 'r) ->
@@ -159,6 +162,19 @@ module Make (M : MSG) : sig
       the deterministic contract: ascending sender identity, emission
       order within a sender. Used by the replay/fuzzing tooling in
       [lib/check] to produce byte-identical execution traces.
+
+      The remaining hooks are the run-trace observability surface
+      ([Repro_obs.Trace] plugs into all three); their call order is part
+      of the same deterministic contract:
+      - [on_crash ~round ~id]: the adversary's order against [id] was
+        applied in [round], before that round's delivery.
+      - [on_decide ~round ~id]: node [id] returned from its program.
+        [round] is the round whose inbox enabled the decision (a node
+        that decides without ever exchanging reports round [0]). Fired in
+        ascending slot order at the barrier.
+      - [on_round_end ~round metrics]: the last event of each round,
+        after delivery, resumes and decide notifications; the {!Metrics}
+        per-round row for [round] is complete when it fires.
 
       @raise Max_rounds_exceeded if honest nodes are still running after
       [max_rounds] (default 100_000) rounds — a deadlock guard.

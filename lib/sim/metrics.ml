@@ -1,3 +1,10 @@
+type round_row = {
+  hmsgs : int;
+  hbits : int;
+  bmsgs : int;
+  bbits : int;
+}
+
 type t = {
   mutable honest_messages : int;
   mutable honest_bits : int;
@@ -6,8 +13,19 @@ type t = {
   mutable byz_misaddressed : int;
   mutable rounds : int;
   mutable crashes : int;
-  mutable per_round_buf : int array;
-  mutable current_round_messages : int;
+  (* Per-round accounting: four parallel growable buffers (honest/byz ×
+     messages/bits), grown together so an index is a completed round in
+     all of them. Parallel int arrays, not an array of records: the
+     engine closes a round once per barrier, but the buffers are read
+     back per field by the trace/report layers. *)
+  mutable pr_hmsgs : int array;
+  mutable pr_hbits : int array;
+  mutable pr_bmsgs : int array;
+  mutable pr_bbits : int array;
+  mutable cur_hmsgs : int;
+  mutable cur_hbits : int;
+  mutable cur_bmsgs : int;
+  mutable cur_bbits : int;
 }
 
 let create () =
@@ -19,40 +37,100 @@ let create () =
     byz_misaddressed = 0;
     rounds = 0;
     crashes = 0;
-    per_round_buf = [||];
-    current_round_messages = 0;
+    pr_hmsgs = [||];
+    pr_hbits = [||];
+    pr_bmsgs = [||];
+    pr_bbits = [||];
+    cur_hmsgs = 0;
+    cur_hbits = 0;
+    cur_bmsgs = 0;
+    cur_bbits = 0;
   }
 
 let add_honest t ~bits =
   t.honest_messages <- t.honest_messages + 1;
   t.honest_bits <- t.honest_bits + bits;
-  t.current_round_messages <- t.current_round_messages + 1
+  t.cur_hmsgs <- t.cur_hmsgs + 1;
+  t.cur_hbits <- t.cur_hbits + bits
 
 let add_honest_n t ~count ~bits_each =
   t.honest_messages <- t.honest_messages + count;
   t.honest_bits <- t.honest_bits + (count * bits_each);
-  t.current_round_messages <- t.current_round_messages + count
+  t.cur_hmsgs <- t.cur_hmsgs + count;
+  t.cur_hbits <- t.cur_hbits + (count * bits_each)
 
 let add_byz t ~bits =
   t.byz_messages <- t.byz_messages + 1;
-  t.byz_bits <- t.byz_bits + bits
+  t.byz_bits <- t.byz_bits + bits;
+  t.cur_bmsgs <- t.cur_bmsgs + 1;
+  t.cur_bbits <- t.cur_bbits + bits
 
 let record_byz_misaddressed t = t.byz_misaddressed <- t.byz_misaddressed + 1
 
+let grow a cap =
+  let bigger = Array.make (max 16 (2 * cap)) 0 in
+  Array.blit a 0 bigger 0 cap;
+  bigger
+
 let end_round t =
-  let cap = Array.length t.per_round_buf in
+  let cap = Array.length t.pr_hmsgs in
   if t.rounds = cap then begin
-    let bigger = Array.make (max 16 (2 * cap)) 0 in
-    Array.blit t.per_round_buf 0 bigger 0 cap;
-    t.per_round_buf <- bigger
+    t.pr_hmsgs <- grow t.pr_hmsgs cap;
+    t.pr_hbits <- grow t.pr_hbits cap;
+    t.pr_bmsgs <- grow t.pr_bmsgs cap;
+    t.pr_bbits <- grow t.pr_bbits cap
   end;
-  t.per_round_buf.(t.rounds) <- t.current_round_messages;
-  t.current_round_messages <- 0;
+  t.pr_hmsgs.(t.rounds) <- t.cur_hmsgs;
+  t.pr_hbits.(t.rounds) <- t.cur_hbits;
+  t.pr_bmsgs.(t.rounds) <- t.cur_bmsgs;
+  t.pr_bbits.(t.rounds) <- t.cur_bbits;
+  t.cur_hmsgs <- 0;
+  t.cur_hbits <- 0;
+  t.cur_bmsgs <- 0;
+  t.cur_bbits <- 0;
   t.rounds <- t.rounds + 1
 
 let record_crash t = t.crashes <- t.crashes + 1
 
-let messages_by_round t = Array.sub t.per_round_buf 0 t.rounds
+let messages_by_round t =
+  Array.init t.rounds (fun r -> t.pr_hmsgs.(r) + t.pr_bmsgs.(r))
+
+let honest_messages_by_round t = Array.sub t.pr_hmsgs 0 t.rounds
+let honest_bits_by_round t = Array.sub t.pr_hbits 0 t.rounds
+let byz_messages_by_round t = Array.sub t.pr_bmsgs 0 t.rounds
+let byz_bits_by_round t = Array.sub t.pr_bbits 0 t.rounds
+
+let round_row t r =
+  if r < 0 || r >= t.rounds then
+    invalid_arg
+      (Printf.sprintf "Metrics.round_row: round %d outside [0, %d)" r t.rounds);
+  {
+    hmsgs = t.pr_hmsgs.(r);
+    hbits = t.pr_hbits.(r);
+    bmsgs = t.pr_bmsgs.(r);
+    bbits = t.pr_bbits.(r);
+  }
+
+let per_round t = Array.init t.rounds (round_row t)
+
+let reconcile t =
+  let sum a =
+    let acc = ref 0 in
+    for r = 0 to t.rounds - 1 do
+      acc := !acc + a.(r)
+    done;
+    !acc
+  in
+  List.filter_map
+    (fun (field, buf, total) ->
+      let s = sum buf in
+      if s = total then None else Some (field, s, total))
+    [
+      ("honest_messages", t.pr_hmsgs, t.honest_messages);
+      ("honest_bits", t.pr_hbits, t.honest_bits);
+      ("byz_messages", t.pr_bmsgs, t.byz_messages);
+      ("byz_bits", t.pr_bbits, t.byz_bits);
+    ]
 
 let pp ppf t =
   Format.fprintf ppf

@@ -13,7 +13,11 @@ let point t =
   if not (is_singleton t) then invalid_arg "Interval.point: not a singleton";
   t.lo
 
-let mid t = (t.lo + t.hi) / 2
+(* Not [(lo + hi) / 2]: the sum overflows for intervals near [max_int]
+   (e.g. namespaces sized close to the word limit), silently producing a
+   negative midpoint. The subtract-first form cannot overflow for any
+   [lo <= hi]. *)
+let mid t = t.lo + ((t.hi - t.lo) / 2)
 
 let bot t = if is_singleton t then t else { lo = t.lo; hi = mid t }
 

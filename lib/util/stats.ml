@@ -69,6 +69,14 @@ let log_log_slope pts =
       (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
       pts
   in
+  (* Failing inside [linear_fit] here would blame "need >= 2 points" on a
+     caller who passed plenty — they were just non-positive and silently
+     filtered. Name the real cause. *)
+  let k = List.length usable in
+  if k < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Stats.log_log_slope: %d usable points after filtering" k);
   fst (linear_fit usable)
 
 let pp_summary ppf s =

@@ -29,8 +29,11 @@ val mean : float list -> float
 val log_log_slope : (float * float) list -> float
 (** Least-squares slope of [log y] against [log x]: the empirical scaling
     exponent of a measured quantity. Points with non-positive coordinates
-    are dropped. @raise Invalid_argument with fewer than two usable
-    points. *)
+    are dropped. @raise Invalid_argument
+    ["Stats.log_log_slope: <k> usable points after filtering"] when the
+    filtering leaves fewer than two points — the count names how many
+    survived, so a slope over all-degenerate data fails with the actual
+    cause rather than [linear_fit]'s generic complaint. *)
 
 val linear_fit : (float * float) list -> float * float
 (** [(slope, intercept)] of the least-squares line.

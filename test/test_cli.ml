@@ -4,14 +4,16 @@
 (* The test binary lives in _build/default/test/; the CLI is its sibling
    under bin/ (declared as a dune dep). Resolve relative to the running
    executable so the tests work from any cwd. *)
-let cli =
+let bin name =
   let dir = Filename.dirname Sys.executable_name in
-  Filename.concat (Filename.concat (Filename.concat dir "..") "bin")
-    "renaming_cli.exe"
+  Filename.concat (Filename.concat (Filename.concat dir "..") "bin") name
 
-let run_capture args =
+let cli = bin "renaming_cli.exe"
+let trace_cli = bin "trace_cli.exe"
+
+let run_capture_bin exe args =
   let tmp = Filename.temp_file "cli" ".out" in
-  let cmd = Printf.sprintf "%s %s > %s 2>&1" cli args tmp in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" exe args tmp in
   let code = Sys.command cmd in
   let ic = open_in tmp in
   let n = in_channel_length ic in
@@ -19,6 +21,8 @@ let run_capture args =
   close_in ic;
   Sys.remove tmp;
   (code, String.trim contents)
+
+let run_capture args = run_capture_bin cli args
 
 let last_line s =
   match List.rev (String.split_on_char '\n' s) with
@@ -57,6 +61,60 @@ let test_verbose_lists_assignments () =
     && String.sub out 0 (String.length "original -> new")
        = "original -> new")
 
+(* --trace + trace_cli, end to end: the JSONL file must be byte-identical
+   across repeated runs and across domain counts, must diff clean through
+   trace_cli, and a different seed must make trace_cli diff exit 1 naming
+   the first diverging round. *)
+let test_trace_determinism_and_diff () =
+  let read path = In_channel.with_open_bin path In_channel.input_all in
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cli_trace_%d_%s" (Unix.getpid ()) suffix)
+  in
+  let a = tmp "a.jsonl" and b = tmp "b.jsonl" and c = tmp "c.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ a; b; c ])
+    (fun () ->
+      let base = "crash -n 24 -f 4 --adversary killer" in
+      let code, _ =
+        run_capture
+          (Printf.sprintf "%s --seed 3 --trace %s --domains 1" base a)
+      in
+      Alcotest.(check int) "run a exit 0" 0 code;
+      let code, _ =
+        run_capture
+          (Printf.sprintf "%s --seed 3 --trace %s --domains 4" base b)
+      in
+      Alcotest.(check int) "run b exit 0" 0 code;
+      let code, _ =
+        run_capture (Printf.sprintf "%s --seed 4 --trace %s" base c)
+      in
+      Alcotest.(check int) "run c exit 0" 0 code;
+      Alcotest.(check string) "byte-identical across --domains 1 vs 4"
+        (read a) (read b);
+      let code, out =
+        run_capture_bin trace_cli (Printf.sprintf "diff %s %s" a b)
+      in
+      Alcotest.(check int) "trace diff identical: exit 0" 0 code;
+      Alcotest.(check bool) "reports record count" true
+        (last_line out = "identical: 45 round records");
+      let code, out =
+        run_capture_bin trace_cli (Printf.sprintf "diff %s %s" a c)
+      in
+      Alcotest.(check int) "trace diff diverged: exit 1" 1 code;
+      Alcotest.(check bool) "names the first diverging round" true
+        (String.length out >= 31
+        && String.sub out 0 31 = "traces diverge at round 0\n  lef");
+      let code, out = run_capture_bin trace_cli ("summary " ^ a) in
+      Alcotest.(check int) "trace summary exit 0" 0 code;
+      Alcotest.(check bool) "summary reconciles" true
+        (last_line out = "summary:  reconciles with per-round rows");
+      let code, _ =
+        run_capture_bin trace_cli "summary /nonexistent/path.jsonl"
+      in
+      Alcotest.(check int) "unreadable input: exit 2" 2 code)
+
 let test_unknown_subcommand_fails () =
   let code, _ = run_capture "frobnicate" in
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
@@ -82,6 +140,8 @@ let suite =
       Alcotest.test_case "halving subcommand" `Quick test_halving_subcommand;
       Alcotest.test_case "verbose assignments" `Quick
         test_verbose_lists_assignments;
+      Alcotest.test_case "trace determinism and trace_cli diff" `Quick
+        test_trace_determinism_and_diff;
       Alcotest.test_case "unknown subcommand fails" `Quick
         test_unknown_subcommand_fails;
       Alcotest.test_case "help" `Quick test_help;

@@ -63,6 +63,91 @@ let test_averaged () =
   Alcotest.(check bool) "messages positive" true (messages > 0.);
   Alcotest.(check bool) "bits >= messages" true (bits >= messages)
 
+(* The actual table titles bench/main.ml prints. Every one must slug to
+   a clean filename cut at the em-dash/colon: the old slugger only knew
+   the '\xe2' lead byte, so any other typographic glyph leaked mojibake
+   bytes into filenames. *)
+let test_csv_slug_bench_titles () =
+  let cases =
+    [
+      ( "E1 / Table 1 — algorithms head-to-head (crash: n=128, N=8192; byz: \
+         n=64, N=4096)",
+        "e1_table_1" );
+      ( "E2 / Fig 2 — Thm 1.2: messages vs f under the committee killer \
+         (n=128, N=8192, mean of 3 trials)",
+        "e2_fig_2" );
+      ("E3 / Fig 3 — Thm 1.2: messages vs n at f=0 (single runs)", "e3_fig_3");
+      ( "E4 / Fig 4 — Thm 1.3: time/messages vs f (n=64, N=4096, split-world \
+         attack)",
+        "e4_fig_4" );
+      ( "E5 / Fig 5 — Thm 1.3: bit complexity vs n (f=n/6 silent byz; \
+         committee vs all-to-all)",
+        "e5_fig_5" );
+      ( "E6 / Fig 6a — Thm 1.4: collision probability of k silent nodes \
+         naming into [64]",
+        "e6_fig_6a" );
+      ( "E7 / Fig 7 — resource competitiveness: Eve's crash budget vs forced \
+         messages",
+        "e7_fig_7" );
+      ( "E7b — the patient killer (kill each committee after one served \
+         phase)",
+        "e7b" );
+      ( "E9a — ablation: fingerprint divide-and-conquer vs shipping raw \
+         segments (f=n/6 silent byz, N=n²)",
+        "e9a" );
+      ( "E9b — ablation: re-election only on silence (paper) vs every phase",
+        "e9b" );
+      ( "E10 — committee consensus engines under the split-world attack: \
+         phase-king (3(t+1) rounds/instance) vs shared-coin (2h rounds, any \
+         t < h/2)",
+        "e10" );
+      ("this-work-crash: f sweep at n=128 (mean of 3 trials)",
+       "this_work_crash");
+    ]
+  in
+  List.iter
+    (fun (title, expected) ->
+      Alcotest.(check string) title expected (E.csv_slug title))
+    cases;
+  (* Slugs must never smuggle raw bytes of a multi-byte glyph. *)
+  List.iter
+    (fun (title, _) ->
+      String.iter
+        (fun c ->
+          Alcotest.(check bool) "slug is ascii [a-z0-9_]" true
+            ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_'))
+        (E.csv_slug title))
+    cases
+
+let test_write_csv_nested_dir () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "renaming_csv_test_%d" (Unix.getpid ()))
+  in
+  let dir = Filename.concat (Filename.concat root "deep") "nested" in
+  Unix.putenv "RENAMING_CSV_DIR" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "RENAMING_CSV_DIR" "";
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () ->
+      E.write_csv ~title:"E3 / Fig 3 — whatever" ~header:[ "a"; "b" ]
+        ~rows:[ [ "1_000"; "x,y" ]; [ "2"; "plain" ] ];
+      let path = Filename.concat dir "e3_fig_3.csv" in
+      Alcotest.(check bool) "file exists under nested dir" true
+        (Sys.file_exists path);
+      Alcotest.(check bool) "no temp file left behind" false
+        (Sys.file_exists (path ^ ".tmp"));
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      Alcotest.(check string) "grouping stripped, commas quoted"
+        "a,b\n1000,\"x,y\"\n2,plain\n" contents)
+
+let test_write_csv_env_unset_is_noop () =
+  (* putenv can't remove a variable; the empty string must behave as
+     unset-like in practice: mkdir_p "" would raise, so guard here. *)
+  Unix.putenv "RENAMING_CSV_DIR" "";
+  E.write_csv ~title:"ignored" ~header:[ "a" ] ~rows:[]
+
 let test_committee_pool_probability () =
   Alcotest.(check (float 1e-9)) "n=1 saturates" 1.
     (E.committee_pool_probability ~n:1);
@@ -78,6 +163,12 @@ let suite =
       Alcotest.test_case "byz protocols battery" `Slow
         test_byz_protocols_correct;
       Alcotest.test_case "averaged" `Quick test_averaged;
+      Alcotest.test_case "csv slugs of the bench titles" `Quick
+        test_csv_slug_bench_titles;
+      Alcotest.test_case "write_csv creates nested dirs atomically" `Quick
+        test_write_csv_nested_dir;
+      Alcotest.test_case "write_csv no-op on empty env" `Quick
+        test_write_csv_env_unset_is_noop;
       Alcotest.test_case "pool probability" `Quick
         test_committee_pool_probability;
     ] )

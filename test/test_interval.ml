@@ -53,6 +53,36 @@ let qcheck_interval =
       let* span = int_range 1 1000 in
       return (lo, lo + span))
 
+(* [(lo + hi) / 2] overflows for intervals near [max_int]; [bot]/[top]
+   must behave as if the midpoint were computed with unbounded integers.
+   Exercised through [bot]/[top] since the midpoint itself is private. *)
+let test_halving_near_max_int () =
+  let lo = max_int - 9 in
+  let i = I.make lo max_int in
+  let b = I.bot i and t = I.top i in
+  Alcotest.check itv "bot at max_int" (I.make lo (lo + 4)) b;
+  Alcotest.check itv "top at max_int" (I.make (lo + 5) max_int) t;
+  Alcotest.(check int) "partition sizes" (I.size i) (I.size b + I.size t);
+  (* Two negative halves would also "partition"; pin the exact bound. *)
+  Alcotest.(check bool) "bot hi positive" true (b.I.hi > 0);
+  let single = I.make max_int max_int in
+  Alcotest.check itv "singleton at max_int fixed by bot" single (I.bot single)
+
+let qcheck_halving_near_max_int =
+  QCheck.Test.make ~name:"bot/top partition near max_int (no mid overflow)"
+    ~count:500
+    QCheck.(pair (int_range 0 4096) (int_range 1 4096))
+    (fun (off, span) ->
+      let hi = max_int - off in
+      let lo = hi - span in
+      let i = I.make lo hi in
+      let b = I.bot i and t = I.top i in
+      b.I.lo = lo && t.I.hi = hi
+      && b.I.hi + 1 = t.I.lo
+      && b.I.hi >= lo && b.I.hi < hi
+      && I.size b - I.size t >= 0
+      && I.size b - I.size t <= 1)
+
 let qcheck_halving_partition =
   QCheck.Test.make ~name:"bot/top partition the interval" ~count:500
     qcheck_interval (fun (lo, hi) ->
@@ -89,6 +119,9 @@ let suite =
     [
       Alcotest.test_case "make/size/point" `Quick test_make;
       Alcotest.test_case "halving" `Quick test_halving;
+      Alcotest.test_case "halving near max_int" `Quick
+        test_halving_near_max_int;
+      QCheck_alcotest.to_alcotest qcheck_halving_near_max_int;
       Alcotest.test_case "subset/contains" `Quick test_subset_contains;
       Alcotest.test_case "depth_in_tree" `Quick test_depth_in_tree;
       QCheck_alcotest.to_alcotest qcheck_halving_partition;

@@ -76,8 +76,69 @@ let test_metrics_accounting () =
   Alcotest.(check int) "byz bits" 99 m.byz_bits;
   Alcotest.(check int) "rounds" 2 m.rounds;
   Alcotest.(check int) "crashes" 1 m.crashes;
-  Alcotest.(check (array int)) "per-round profile" [| 2; 1 |]
-    (Metrics.messages_by_round m)
+  (* Round 2 carried 1 honest + 1 byz message: the total profile counts
+     both (the byz message used to be dropped from the per-round rows). *)
+  Alcotest.(check (array int)) "per-round profile (honest + byz)" [| 2; 2 |]
+    (Metrics.messages_by_round m);
+  Alcotest.(check (array int)) "honest messages by round" [| 2; 1 |]
+    (Metrics.honest_messages_by_round m);
+  Alcotest.(check (array int)) "honest bits by round" [| 30; 5 |]
+    (Metrics.honest_bits_by_round m);
+  Alcotest.(check (array int)) "byz messages by round" [| 0; 1 |]
+    (Metrics.byz_messages_by_round m);
+  Alcotest.(check (array int)) "byz bits by round" [| 0; 99 |]
+    (Metrics.byz_bits_by_round m);
+  let row = Metrics.round_row m 1 in
+  Alcotest.(check int) "row 1 hmsgs" 1 row.Metrics.hmsgs;
+  Alcotest.(check int) "row 1 hbits" 5 row.Metrics.hbits;
+  Alcotest.(check int) "row 1 bmsgs" 1 row.Metrics.bmsgs;
+  Alcotest.(check int) "row 1 bbits" 99 row.Metrics.bbits;
+  Alcotest.check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+    "per-round rows reconcile with totals" [] (Metrics.reconcile m);
+  Alcotest.check_raises "round_row out of range"
+    (Invalid_argument "Metrics.round_row: round 2 outside [0, 2)") (fun () ->
+      ignore (Metrics.round_row m 2))
+
+(* Oracle-style closure check on real executions: for a crash run and a
+   Byzantine run, the per-round rows must sum to the run totals field by
+   field — exactly the invariant [Metrics.reconcile] (and through it the
+   fuzzer's oracle) enforces. *)
+let test_reconcile_crash_run () =
+  let ids = Array.init 24 (fun i -> (7 * i) + 3) in
+  let res =
+    Repro_renaming.Crash_renaming.run ~ids
+      ~crash:
+        (Repro_renaming.Crash_renaming.Net.Crash.random
+           ~rng:(Repro_util.Rng.of_seed 11) ~f:5 ())
+      ~seed:11 ()
+  in
+  let a = Runner.assess res in
+  Alcotest.(check bool) "correct" true a.Runner.correct;
+  Alcotest.check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int))
+    "crash run reconciles" []
+    (Metrics.reconcile res.Engine.metrics);
+  Alcotest.(check bool) "assessment reconciles" true (Runner.reconciles a);
+  Alcotest.(check int) "messages = sum of honest rows" a.Runner.messages
+    (Array.fold_left ( + ) 0 (Metrics.honest_messages_by_round res.metrics))
+
+let test_reconcile_byz_run () =
+  let module E = Repro_renaming.Experiment in
+  (* Split-world attackers spend byz messages every round; the rows must
+     bill them round by round, not just in the totals. *)
+  let a =
+    E.run_byz ~protocol:E.This_work_byz ~n:16 ~namespace:1024
+      ~adversary:(E.Split_world_byz 2) ~pool_probability:0.7 ~seed:5 ()
+  in
+  Alcotest.(check bool) "correct" true a.Runner.correct;
+  Alcotest.(check bool) "byz traffic present" true (a.Runner.byz_messages > 0);
+  Alcotest.(check bool) "byz run reconciles" true (Runner.reconciles a);
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 a.Runner.per_round in
+  Alcotest.(check int) "byz msgs = sum of byz rows" a.Runner.byz_messages
+    (sum (fun (r : Metrics.round_row) -> r.Metrics.bmsgs));
+  Alcotest.(check int) "byz bits = sum of byz rows" a.Runner.byz_bits
+    (sum (fun r -> r.Metrics.bbits))
 
 let test_two_metrics_independent () =
   let a = Metrics.create () and b = Metrics.create () in

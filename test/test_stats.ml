@@ -32,6 +32,23 @@ let test_log_log_slope () =
   in
   Alcotest.(check (float 1e-6)) "quadratic slope" 2. (S.log_log_slope pts)
 
+let test_log_log_slope_filtered () =
+  (* Non-positive coordinates are filtered before the fit; when fewer
+     than two points survive, the error must name the real cause (the
+     filtering), not [linear_fit]'s generic point-count complaint. *)
+  Alcotest.check_raises "all points filtered"
+    (Invalid_argument "Stats.log_log_slope: 0 usable points after filtering")
+    (fun () -> ignore (S.log_log_slope [ (0., 1.); (1., 0.); (-2., 3.) ]));
+  Alcotest.check_raises "one point survives"
+    (Invalid_argument "Stats.log_log_slope: 1 usable points after filtering")
+    (fun () -> ignore (S.log_log_slope [ (2., 4.); (0., 7.) ]));
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Stats.log_log_slope: 0 usable points after filtering")
+    (fun () -> ignore (S.log_log_slope []));
+  (* Two usable points among garbage: fits fine. *)
+  close "fit ignores filtered points" 1.
+    (S.log_log_slope [ (0., 5.); (2., 2.); (4., 4.); (-1., -1.) ])
+
 let test_singleton () =
   let s = S.summarize [ 7.5 ] in
   Alcotest.(check int) "n" 1 s.S.n;
@@ -101,5 +118,7 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_percentile_anchors;
       Alcotest.test_case "linear fit" `Quick test_linear_fit;
       Alcotest.test_case "log-log slope" `Quick test_log_log_slope;
+      Alcotest.test_case "log-log slope: filtered-point errors" `Quick
+        test_log_log_slope_filtered;
       QCheck_alcotest.to_alcotest qcheck_mean_bounds;
     ] )
