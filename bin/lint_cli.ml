@@ -1,0 +1,104 @@
+(* Driver for repro_lint (lib/lint): the determinism & domain-safety
+   static-analysis pass.
+
+     lint [PATHS..]                 # default: lib
+     lint --format json lib
+     lint --disable D4,D5 lib/core
+     lint --enable D1 --enable D2 lib
+     lint --list-rules
+
+   Exit 0 when every enabled rule is clean (allow-suppressed findings
+   do not fail the build), 1 on any unsuppressed finding (including E0
+   parse failures), 2 on usage errors / unreadable paths.
+   [dune build @lint] runs this over the whole lib tree. *)
+
+module Lint = Repro_lint.Lint
+module Finding = Repro_lint.Finding
+open Cmdliner
+
+let list_rules () =
+  List.iter
+    (fun (id, rejects, rationale) ->
+      Printf.printf "%-3s %s\n    why: %s\n" id rejects rationale)
+    Finding.rules
+
+let run paths format enables disables list =
+  if list then begin
+    list_rules ();
+    0
+  end
+  else begin
+    let split l = List.concat_map (String.split_on_char ',') l in
+    let enables = split enables and disables = split disables in
+    let unknown =
+      List.filter (fun r -> not (Finding.is_known_rule r)) (enables @ disables)
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "lint: unknown rule id%s: %s\n"
+        (if List.length unknown = 1 then "" else "s")
+        (String.concat ", " unknown);
+      exit 2
+    end;
+    let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+    if missing <> [] then begin
+      Printf.eprintf "lint: no such path: %s\n" (String.concat ", " missing);
+      exit 2
+    end;
+    let enabled rule =
+      (* E0 (parse failure) cannot be opted out of: an unparseable file
+         cannot be certified. *)
+      String.equal rule "E0"
+      || (match enables with
+         | [] -> true
+         | _ :: _ -> List.exists (String.equal rule) enables)
+         && not (List.exists (String.equal rule) disables)
+    in
+    let report = Lint.lint_files ~enabled paths in
+    (match format with
+    | `Text -> print_string (Lint.to_text report)
+    | `Json -> print_string (Lint.to_json report));
+    match report.Lint.findings with [] -> 0 | _ :: _ -> 1
+  end
+
+let paths_arg =
+  Arg.(
+    value
+    & pos_all string [ "lib" ]
+    & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+
+let enable_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "enable" ] ~docv:"IDS"
+        ~doc:
+          "Run only these rules (comma-separated, repeatable). Default: all.")
+
+let disable_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "disable" ] ~docv:"IDS"
+        ~doc:"Skip these rules (comma-separated, repeatable).")
+
+let list_arg =
+  Arg.(
+    value & flag
+    & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+
+let () =
+  let info =
+    Cmd.info "lint" ~version:"1.0.0"
+      ~doc:
+        "Static determinism & domain-safety checks (D1-D5) over OCaml \
+         sources; exit 1 on any unsuppressed finding."
+  in
+  let term =
+    Term.(
+      const run $ paths_arg $ format_arg $ enable_arg $ disable_arg $ list_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -264,7 +264,12 @@ let reconcile_identity_list ~mode ~consensus ~net ~key ~namespace l =
   let stack = ref [ Interval.make 1 namespace ] in
   while !stack <> [] do
     let j, rest =
-      match !stack with j :: rest -> (j, rest) | [] -> assert false
+      match !stack with
+      | j :: rest -> (j, rest)
+      | [] ->
+          invalid_arg
+            "Byzantine_renaming.reconcile_identity_list: segment stack \
+             empty inside the non-empty-stack loop"
     in
     stack := rest;
     if Interval.is_singleton j then begin
@@ -349,6 +354,27 @@ let reconcile_identity_list ~mode ~consensus ~net ~key ~namespace l =
   done;
   (List.rev !completed, !dirty)
 
+(* Deterministic plurality over a rank multiset given in ascending order
+   (lint D2 contract: the caller extracts the ranks with a sorted fold).
+   Highest count wins; equal counts break towards the smallest rank —
+   never towards whatever a hashtable happened to iterate first, which
+   is what the pre-lint tally did and what OCAMLRUNPARAM=R perturbs. *)
+let plurality_rank sorted_ranks =
+  let better acc rank count =
+    match acc with
+    | Some (_, best_count) when best_count >= count -> acc
+    | _ -> Some (rank, count)
+  in
+  let rec go acc current count = function
+    | [] -> better acc current count
+    | r :: rest ->
+        if r = current then go acc current (count + 1) rest
+        else go (better acc current count) r 1 rest
+  in
+  match sorted_ranks with
+  | [] -> None
+  | r :: rest -> Option.map fst (go None r 1 rest)
+
 (* Wait for NEW messages from a majority of the committee view, then take
    the plurality of the non-null ranks. Byzantine members are fewer than
    half the view, so the threshold can only be crossed once the correct
@@ -370,24 +396,11 @@ let collect_new_identity ctx ~view first_inbox =
   in
   let decide () =
     if Hashtbl.length seen < threshold then None
-    else begin
-      let tally : (int, int) Hashtbl.t = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun _ v ->
-          match v with
-          | Some rank ->
-              Hashtbl.replace tally rank
-                (1 + Option.value ~default:0 (Hashtbl.find_opt tally rank))
-          | None -> ())
-        seen;
+    else
       Hashtbl.fold
-        (fun rank c acc ->
-          match acc with
-          | Some (_, bc) when bc >= c -> acc
-          | _ -> Some (rank, c))
-        tally None
-      |> Option.map fst
-    end
+        (fun _ v acc -> match v with Some rank -> rank :: acc | None -> acc)
+        seen []
+      |> List.sort Int.compare |> plurality_rank
   in
   let rec go inbox =
     absorb inbox;

@@ -108,6 +108,14 @@ val pool_of_params : params -> n:int -> Repro_crypto.Committee_pool.t
 (** The shared candidate pool these parameters induce (for experiments
     and adversary construction). Meaningless under [Everyone]. *)
 
+val plurality_rank : int list -> int option
+(** Deterministic plurality over a rank multiset given in {e ascending}
+    order ([List.sort Int.compare]): the rank with the highest count,
+    equal counts breaking towards the smallest rank. This is the
+    distribution-stage tie-break (stage 3); it used to follow hashtable
+    iteration order, which [OCAMLRUNPARAM=R] perturbs — exposed so the
+    regression test can pin the tie case. [None] on the empty list. *)
+
 type telemetry = {
   on_view : id:int -> view:int list -> unit;
       (** the committee view a node computed from the ELECT round *)

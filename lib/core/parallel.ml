@@ -19,6 +19,10 @@ let env_domains () =
 
 (* 0 = not set programmatically; [set_domains] wins over the
    environment, the environment over the hardware count. *)
+(* Process-wide domain-count knob: one Atomic.t written by set_domains
+   before any fan-out; last-write-wins is the intended semantics and
+   reads are atomic. *)
+(* lint: allow D4 — deliberate global configuration knob, see above *)
 let configured : int Atomic.t = Atomic.make 0
 
 let set_domains d =
@@ -64,7 +68,14 @@ let map ?domains count f =
       (fun dh -> try Domain.join dh with e -> record e)
       spawned;
     (match !first_exn with Some e -> raise e | None -> ());
-    Array.map (function Some x -> x | None -> assert false) results
+    Array.map
+      (function
+        | Some x -> x
+        | None ->
+            invalid_arg
+              "Parallel.map: result slot still empty after all workers \
+               joined without raising")
+      results
   end
 
 let map_list ?domains count f = Array.to_list (map ?domains count f)

@@ -28,7 +28,10 @@ let assess (res : int Engine.run_result) =
     List.filter_map
       (function id, Engine.Decided v -> Some (id, v) | _ -> None)
       res.outcomes
-    |> List.sort compare
+    |> List.sort (fun (id1, new1) (id2, new2) ->
+           match Int.compare id1 id2 with
+           | 0 -> Int.compare new1 new2
+           | c -> c)
   in
   let news = List.map snd assignments in
   let unique = List.length (List.sort_uniq Int.compare news) = List.length news in

@@ -1,0 +1,90 @@
+(* Comment-based escape hatch: a source line containing
+
+     (* lint: allow D2 — reason *)
+
+   suppresses findings for the listed rules on that line and on the
+   line directly below it (so the idiomatic form — a comment on its own
+   line above the flagged code — works). The parser drops comments, so
+   this scan runs over the raw source text; it is deliberately lexical
+   and cheap. Rule ids are the tokens matching [DE][0-9]+ that appear
+   after "allow"; everything after an em-dash/double-hyphen is read as
+   the (required by convention, unenforced) reason. *)
+
+type t = (int * string list) list
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_rule_token s =
+  String.length s >= 2
+  && (s.[0] = 'D' || s.[0] = 'E')
+  && (let ok = ref true in
+      String.iteri (fun i c -> if i > 0 && not (is_digit c) then ok := false) s;
+      !ok)
+
+(* Index of [needle] in [hay] at or after [from], or -1. *)
+let find_sub hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then -1
+    else if String.sub hay i nn = needle then i
+    else go (i + 1)
+  in
+  if nn = 0 then -1 else go from
+
+let tokens_after line start =
+  let n = String.length line in
+  let buf = Buffer.create 8 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let is_word c =
+    (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || is_digit c
+  in
+  for i = start to n - 1 do
+    if is_word line.[i] then Buffer.add_char buf line.[i] else flush ()
+  done;
+  flush ();
+  List.rev !out
+
+let ids_of_line line =
+  match find_sub line "lint:" 0 with
+  | -1 -> []
+  | i -> (
+      match find_sub line "allow" (i + 5) with
+      | -1 -> []
+      | j ->
+          (* Stop harvesting at a reason separator so words inside the
+             reason cannot accidentally re-allow further rules. *)
+          let stop =
+            let dash = find_sub line "--" (j + 5) in
+            let emdash = find_sub line "\xe2\x80\x94" (j + 5) in
+            let cut a b = if a = -1 then b else if b = -1 then a else min a b in
+            cut dash emdash
+          in
+          let segment =
+            if stop = -1 then String.sub line (j + 5) (String.length line - j - 5)
+            else String.sub line (j + 5) (stop - j - 5)
+          in
+          List.filter is_rule_token (tokens_after segment 0))
+
+let scan source =
+  let lines = String.split_on_char '\n' source in
+  let _, acc =
+    List.fold_left
+      (fun (lineno, acc) line ->
+        match ids_of_line line with
+        | [] -> (lineno + 1, acc)
+        | ids -> (lineno + 1, (lineno, ids) :: acc))
+      (1, []) lines
+  in
+  List.rev acc
+
+let allows t ~line ~rule =
+  List.exists
+    (fun (l, ids) ->
+      (l = line || l = line - 1) && List.exists (String.equal rule) ids)
+    t

@@ -1,0 +1,63 @@
+(* A single lint diagnostic, plus the registry of rules the pass knows
+   about. Kept free of any I/O so both the CLI and the test suite can
+   consume findings structurally. *)
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+}
+
+(* Deterministic report order: file, then position, then rule id. The
+   linter's own output must honour the determinism contract it
+   enforces. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+(* (id, what it rejects, why the repo cares). E0 is the pseudo-rule for
+   files the parser cannot read at all; it cannot be suppressed. *)
+let rules =
+  [
+    ( "E0",
+      "unparseable source file",
+      "a file the linter cannot parse cannot be certified deterministic" );
+    ( "D1",
+      "banned nondeterminism source (Random.*, Sys.time, \
+       Unix.gettimeofday, Hashtbl.create ~random:true, Hashtbl.randomize)",
+      "replays must be a pure function of the seed: route randomness \
+       through Repro_util.Rng and timing through the opt-in path in \
+       lib/obs/trace.ml" );
+    ( "D2",
+      "Hashtbl.iter/fold/to_seq whose result order escapes",
+      "hashtable iteration order varies with OCAMLRUNPARAM=R and stdlib \
+       version; sort the extracted list before it is observed" );
+    ( "D3",
+      "polymorphic compare/Stdlib.compare/Hashtbl.hash as comparator or \
+       hash",
+      "structural compare ties break by representation, not meaning; \
+       use typed comparators (Int.compare, String.compare, per-field)" );
+    ( "D4",
+      "top-level mutable state in the domain-shared libraries \
+       (lib/core, lib/sim, lib/consensus, lib/crypto)",
+      "module-level refs/tables race under Parallel.map; thread state \
+       through per-run values instead" );
+    ( "D5",
+      "Obj.magic/Marshal/stdout printing/opaque `assert false` in \
+       library code",
+      "library code must stay representation-safe and silent on stdout; \
+       dead branches must name the invariant they guard" );
+  ]
+
+let rule_ids = List.map (fun (id, _, _) -> id) rules
+let is_known_rule id = List.exists (String.equal id) rule_ids

@@ -1,0 +1,153 @@
+(* Driver: parse (compiler-libs), run the rule walk, render reports.
+
+   Parsing goes through compiler-libs' [Parse.implementation] on an
+   in-memory lexbuf (the same parser [Pparse] wraps) rather than
+   [Pparse.parse_implementation], because the comment escape hatch needs
+   the raw source text anyway — one read serves both the lexer and the
+   {!Allowlist} scan. *)
+
+type report = {
+  findings : Finding.t list;
+  files_scanned : int;
+  suppressed : int;
+}
+
+let parse ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  match Parse.implementation lexbuf with
+  | str -> Ok str
+  | exception Syntaxerr.Error e ->
+      Error (Syntaxerr.location_of_error e, "syntax error")
+  | exception Lexer.Error (_, loc) -> Error (loc, "lexer error")
+
+let parse_error_finding ~filename (loc : Location.t) msg =
+  let p = loc.Location.loc_start in
+  {
+    Finding.rule = "E0";
+    file = filename;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message = msg;
+    hint = "fix the file so the linter can parse it";
+  }
+
+let lint_string ?(enabled = fun _ -> true) ~filename source =
+  match parse ~filename source with
+  | Ok str -> Rules.run { Rules.filename; enabled } ~source str
+  | Error (loc, msg) -> ([ parse_error_finding ~filename loc msg ], 0)
+
+let lint_file ?enabled path =
+  let source = In_channel.with_open_bin path In_channel.input_all in
+  lint_string ?enabled ~filename:path source
+
+(* Walk the given paths collecting .ml files. [Sys.readdir] order is
+   filesystem-dependent, so every directory listing is sorted — report
+   order is part of the determinism contract. *)
+let collect_ml_files paths =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if String.length name = 0 || name.[0] = '.' || name = "_build"
+             then acc
+             else walk acc (Filename.concat path name))
+           acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.fold_left walk [] paths |> List.sort String.compare
+
+let lint_files ?enabled paths =
+  let files = collect_ml_files paths in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, sup) file ->
+        let f, s = lint_file ?enabled file in
+        (f :: fs, sup + s))
+      ([], 0) files
+  in
+  {
+    findings = List.sort Finding.compare (List.concat findings);
+    files_scanned = List.length files;
+    suppressed;
+  }
+
+let findings_by_rule report =
+  List.fold_left
+    (fun acc (f : Finding.t) ->
+      let rec bump = function
+        | [] -> [ (f.rule, 1) ]
+        | (r, n) :: rest ->
+            if String.equal r f.rule then (r, n + 1) :: rest
+            else (r, n) :: bump rest
+      in
+      bump acc)
+    [] report.findings
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* {2 Rendering} *)
+
+let to_text report =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: [%s] %s\n    hint: %s\n" f.file f.line
+           f.col f.rule f.message f.hint))
+    report.findings;
+  let n = List.length report.findings in
+  Buffer.add_string buf
+    (Printf.sprintf "repro_lint: %s in %d files (%d suppressed by allow)\n"
+       (if n = 0 then "clean" else Printf.sprintf "%d finding%s" n
+          (if n = 1 then "" else "s"))
+       report.files_scanned report.suppressed);
+  Buffer.contents buf
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Hand-rolled writer with fixed field order, like lib/obs/trace.ml: the
+   JSON report is diffed in CI, so byte-stability matters. *)
+let to_json report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"tool\":\"repro_lint\",\"schema\":\"lint-report/v1\"";
+  Buffer.add_string buf ",\"files_scanned\":";
+  Buffer.add_string buf (string_of_int report.files_scanned);
+  Buffer.add_string buf ",\"suppressed\":";
+  Buffer.add_string buf (string_of_int report.suppressed);
+  Buffer.add_string buf ",\"findings\":[";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"rule\":";
+      add_escaped buf f.rule;
+      Buffer.add_string buf ",\"file\":";
+      add_escaped buf f.file;
+      Buffer.add_string buf ",\"line\":";
+      Buffer.add_string buf (string_of_int f.line);
+      Buffer.add_string buf ",\"col\":";
+      Buffer.add_string buf (string_of_int f.col);
+      Buffer.add_string buf ",\"message\":";
+      add_escaped buf f.message;
+      Buffer.add_string buf ",\"hint\":";
+      add_escaped buf f.hint;
+      Buffer.add_char buf '}')
+    report.findings;
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

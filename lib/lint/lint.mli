@@ -1,0 +1,36 @@
+(** repro_lint — determinism & domain-safety static analysis.
+
+    Parses OCaml sources with compiler-libs and walks the parsetree with
+    the {!Rules} pass (rules D1–D5, registry in {!Finding.rules}). Used
+    by [bin/lint_cli] (wired to [dune build @lint]) and by the test
+    suite. *)
+
+type report = {
+  findings : Finding.t list;  (** sorted by {!Finding.compare} *)
+  files_scanned : int;
+  suppressed : int;  (** findings silenced by an allow annotation *)
+}
+
+val lint_string :
+  ?enabled:(string -> bool) -> filename:string -> string -> Finding.t list * int
+(** Lint one compilation unit given as a string. [filename] is the
+    logical path and drives the path-scoped rules (D1 exemptions, D4's
+    domain-shared directories). A file that fails to parse yields a
+    single non-suppressible [E0] finding. [enabled] defaults to
+    all-rules-on. *)
+
+val lint_file : ?enabled:(string -> bool) -> string -> Finding.t list * int
+
+val collect_ml_files : string list -> string list
+(** Recursively collect [.ml] files under the given paths, skipping
+    dotfiles and [_build]; sorted (directory listing order is not
+    deterministic across filesystems). *)
+
+val lint_files : ?enabled:(string -> bool) -> string list -> report
+
+val findings_by_rule : report -> (string * int) list
+(** Per-rule finding counts, sorted by rule id. *)
+
+val to_text : report -> string
+val to_json : report -> string
+(** Byte-stable (fixed field order) [lint-report/v1] JSON. *)

@@ -1,0 +1,18 @@
+(** The determinism & domain-safety rule set (D1–D5), implemented as one
+    {!Ast_iterator} walk. See {!Finding.rules} for the registry and
+    DESIGN.md S22 for the contract each rule enforces. *)
+
+type config = {
+  filename : string;
+      (** logical path — drives the path-scoped rules (D1 exemptions for
+          lib/util/rng.ml and lib/obs/trace.ml, D4's domain-shared dirs) *)
+  enabled : string -> bool;  (** per-rule-id enable predicate *)
+}
+
+val run :
+  config -> source:string -> Parsetree.structure -> Finding.t list * int
+(** [run config ~source str] returns the findings (sorted by
+    {!Finding.compare}) and the number of findings suppressed by an
+    allow annotation. [source] is the raw text the structure was parsed
+    from — needed for the comment escape hatch, which the parser
+    drops. *)

@@ -1,0 +1,16 @@
+(* Lint fixture: D1 violations silenced by both escape hatches — must
+   produce zero findings, all suppressed. *)
+
+let seed_global () = (Random.self_init () [@lint.allow "D1"])
+
+(* lint: allow D1 — fixture exercises the comment hatch *)
+let pick n = Random.int n
+
+let cpu_now () = Sys.time () (* lint: allow D1 — same-line comment hatch *)
+
+let wall_now () = (Unix.gettimeofday () [@lint.allow "D1"])
+
+(* lint: allow D1 — randomized table wanted here, honest *)
+let table : (int, int) Hashtbl.t = Hashtbl.create ~random:true 16
+
+let shake () = (Hashtbl.randomize () [@lint.allow "D1"])

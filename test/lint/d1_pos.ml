@@ -1,0 +1,9 @@
+(* Lint fixture: D1 banned nondeterminism sources — every binding below
+   must fire. Parsed by the linter, never compiled. *)
+
+let seed_global () = Random.self_init ()
+let pick n = Random.int n
+let cpu_now () = Sys.time ()
+let wall_now () = Unix.gettimeofday ()
+let table : (int, int) Hashtbl.t = Hashtbl.create ~random:true 16
+let shake () = Hashtbl.randomize ()

@@ -1,0 +1,17 @@
+(* Lint fixture: D2, clean side. The first three are sanctioned by the
+   immediately-sorted heuristic (no finding, nothing suppressed); the
+   last two carry explicit allows. *)
+
+let keys_sorted h =
+  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare
+
+let keys_sorted_direct h =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h [])
+
+let keys_sorted_at h =
+  List.sort_uniq Int.compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) h []
+
+(* lint: allow D2 — sum accumulator is order-insensitive *)
+let total h = Hashtbl.fold (fun _ v acc -> acc + v) h 0
+
+let count p h = (Hashtbl.fold (fun _ v n -> if p v then n + 1 else n) h 0 [@lint.allow "D2"])

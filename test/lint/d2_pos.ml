@@ -1,0 +1,7 @@
+(* Lint fixture: D2 escaping hashtable iteration order — every binding
+   below must fire. *)
+
+let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []
+let dump f h = Hashtbl.iter (fun k v -> f k v) h
+let stream h = Hashtbl.to_seq h
+let escape_as_value = Hashtbl.fold

@@ -1,0 +1,11 @@
+(* Lint fixture: D3, clean side — attribute hatch, comment hatch, and
+   the local-compare exemption (a file defining its own typed [compare]
+   may use it bare, the Interval/Fingerprint idiom). *)
+
+let sort_pairs l = (List.sort Stdlib.compare l [@lint.allow "D3"])
+
+(* lint: allow D3 — fixture exercises the comment hatch *)
+let bucket x = Hashtbl.hash x land 7
+
+let compare a b = Int.compare a b
+let sort_ints l = List.sort compare l

@@ -1,0 +1,7 @@
+(* Lint fixture: D3 polymorphic compare/hash — every binding below must
+   fire. *)
+
+let sort_pairs l = List.sort compare l
+let worst_comparator = Stdlib.compare
+let bucket x = Hashtbl.hash x land 7
+let applied a b = compare a b

@@ -1,0 +1,8 @@
+(* Lint fixture: D4 violations silenced by both escape hatches — zero
+   findings when linted under a domain-shared path. *)
+
+(* lint: allow D4 — fixture: deliberate global, synchronized elsewhere *)
+let cache : (int, int) Hashtbl.t = Hashtbl.create 64
+
+let counter = ref 0 [@@lint.allow "D4"]
+let flag = Atomic.make false [@@lint.allow "D4"]

@@ -1,0 +1,11 @@
+(* Lint fixture: D4 top-level mutable state. Only fires when linted
+   under a domain-shared path — the suite feeds this file to the linter
+   as "lib/core/d4_pos.ml". Every binding below must fire there. *)
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 64
+let counter = ref 0
+let scratch = Array.make 16 0
+let flag = Atomic.make false
+
+(* Not flagged: per-call state behind a function. *)
+let fresh_table () : (int, int) Hashtbl.t = Hashtbl.create 8

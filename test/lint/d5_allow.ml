@@ -1,0 +1,7 @@
+(* Lint fixture: D5, silenced — zero findings. *)
+
+(* lint: allow D5 — fixture: intentional stdout report printer *)
+let debug x = print_endline x
+
+let banner n = Printf.printf "hello %d\n" n [@@lint.allow "D5"]
+let dead_branch () = (assert false [@lint.allow "D5"])

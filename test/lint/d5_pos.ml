@@ -1,0 +1,8 @@
+(* Lint fixture: D5 representation escapes, stdout chatter, opaque dead
+   branches — every binding below must fire. *)
+
+let debug x = print_endline x
+let banner n = Printf.printf "hello %d\n" n
+let coerce (x : int) : float = Obj.magic x
+let save oc v = Marshal.to_channel oc v []
+let dead_branch () = assert false

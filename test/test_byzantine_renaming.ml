@@ -160,6 +160,31 @@ let test_identity_outside_namespace_rejected () =
     (Invalid_argument "Byzantine_renaming.run: identity outside namespace")
     (fun () -> ignore (BR.run ~params ~ids:[| 5; 101 |] ~seed:1 ()))
 
+(* Regression for the distribution-stage tally (lint D2): equal counts
+   used to resolve by Hashtbl iteration order — OCAMLRUNPARAM=R could
+   flip the winner. The contract is now: highest count, then smallest
+   rank, over a sorted rank multiset. *)
+let test_plurality_rank_tie_break () =
+  let check name expected ranks =
+    Alcotest.(check (option int))
+      name expected
+      (BR.plurality_rank (List.sort Int.compare ranks))
+  in
+  check "tie on count picks the smallest rank" (Some 3) [ 5; 3; 5; 3 ];
+  check "three-way tie" (Some 1) [ 9; 4; 1; 4; 9; 1 ];
+  check "higher count beats smaller rank" (Some 5) [ 5; 5; 3 ];
+  check "singleton" (Some 7) [ 7 ];
+  check "empty collection" None [];
+  (* Determinism under permutation: the winner is a function of the
+     multiset, not of arrival order. *)
+  let rng = Rng.of_seed 41 in
+  let base = [ 2; 2; 8; 8; 8; 11; 11; 11; 5 ] in
+  for _ = 1 to 50 do
+    let arr = Array.of_list base in
+    Rng.shuffle rng arr;
+    check "permutation-invariant" (Some 8) (Array.to_list arr)
+  done
+
 let scenario_gen =
   QCheck.make
     ~print:(fun (n, f, kind, seed) ->
@@ -202,5 +227,7 @@ let suite =
         test_empty_committee_trips_deadlock_guard;
       Alcotest.test_case "namespace check" `Quick
         test_identity_outside_namespace_rejected;
+      Alcotest.test_case "plurality tie-break is deterministic" `Quick
+        test_plurality_rank_tie_break;
       QCheck_alcotest.to_alcotest qcheck_byz_correct;
     ] )

@@ -115,6 +115,38 @@ let test_trace_determinism_and_diff () =
       in
       Alcotest.(check int) "unreadable input: exit 2" 2 code)
 
+(* OCAMLRUNPARAM=R randomizes hashtable hashing per process — the exact
+   perturbation the lint D2 rule guards against statically. Two R-mode
+   processes (different hash seeds) and one default-mode process must
+   all write byte-identical traces; the byz path is the one whose
+   distribution tally used to depend on iteration order. *)
+let test_trace_byte_identical_under_runparam_r () =
+  let read path = In_channel.with_open_bin path In_channel.input_all in
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cli_rparam_%d_%s" (Unix.getpid ()) suffix)
+  in
+  let a = tmp "r1.jsonl" and b = tmp "r2.jsonl" and c = tmp "plain.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ a; b; c ])
+    (fun () ->
+      let base = "byz -n 16 -f 2 --attack silent --seed 3 --trace" in
+      let code, _ =
+        run_capture_bin ("OCAMLRUNPARAM=R " ^ cli)
+          (Printf.sprintf "%s %s" base a)
+      in
+      Alcotest.(check int) "R-mode run 1 exit 0" 0 code;
+      let code, _ =
+        run_capture_bin ("OCAMLRUNPARAM=R " ^ cli)
+          (Printf.sprintf "%s %s" base b)
+      in
+      Alcotest.(check int) "R-mode run 2 exit 0" 0 code;
+      let code, _ = run_capture (Printf.sprintf "%s %s" base c) in
+      Alcotest.(check int) "default-mode run exit 0" 0 code;
+      Alcotest.(check string) "R vs R byte-identical" (read a) (read b);
+      Alcotest.(check string) "R vs default byte-identical" (read a) (read c))
+
 let test_unknown_subcommand_fails () =
   let code, _ = run_capture "frobnicate" in
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
@@ -142,6 +174,8 @@ let suite =
         test_verbose_lists_assignments;
       Alcotest.test_case "trace determinism and trace_cli diff" `Quick
         test_trace_determinism_and_diff;
+      Alcotest.test_case "trace byte-identical under OCAMLRUNPARAM=R" `Quick
+        test_trace_byte_identical_under_runparam_r;
       Alcotest.test_case "unknown subcommand fails" `Quick
         test_unknown_subcommand_fails;
       Alcotest.test_case "help" `Quick test_help;

@@ -1,0 +1,286 @@
+(* The repro_lint pass itself: one positive + one allow-suppressed
+   fixture per rule (test/lint/*.ml), path scoping, the sorted-sink
+   sanction heuristic, report stability, the lint_cli exit-code
+   contract, and — last, because Hashtbl.randomize is process-global —
+   an in-process proof that the D2 fix removed the hashtable-order
+   dependence from byz run traces. *)
+
+module Lint = Repro_lint.Lint
+module Finding = Repro_lint.Finding
+module Allowlist = Repro_lint.Allowlist
+module E = Repro_renaming.Experiment
+module Trace = Repro_obs.Trace
+
+(* Fixtures and the CLI binary live next to the test executable in
+   _build/default/{test/lint,bin}; resolve relative to the executable so
+   cwd does not matter. *)
+let exe_dir = Filename.dirname Sys.executable_name
+let fixture name = Filename.concat (Filename.concat exe_dir "lint") name
+
+let lint_cli =
+  Filename.concat
+    (Filename.concat (Filename.concat exe_dir "..") "bin")
+    "lint_cli.exe"
+
+let read path = In_channel.with_open_bin path In_channel.input_all
+
+let rules_of findings =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Finding.t) -> f.Finding.rule) findings)
+
+let check_fixture name ~expect_rule ~expect_count ~expect_suppressed =
+  let findings, suppressed = Lint.lint_file (fixture name) in
+  Alcotest.(check int)
+    (name ^ ": finding count")
+    expect_count (List.length findings);
+  Alcotest.(check int) (name ^ ": suppressed count") expect_suppressed
+    suppressed;
+  if expect_count > 0 then
+    Alcotest.(check (list string))
+      (name ^ ": all findings are " ^ expect_rule)
+      [ expect_rule ] (rules_of findings)
+
+let test_d1 () =
+  check_fixture "d1_pos.ml" ~expect_rule:"D1" ~expect_count:6
+    ~expect_suppressed:0;
+  check_fixture "d1_allow.ml" ~expect_rule:"D1" ~expect_count:0
+    ~expect_suppressed:6
+
+let test_d2 () =
+  check_fixture "d2_pos.ml" ~expect_rule:"D2" ~expect_count:4
+    ~expect_suppressed:0;
+  (* Three sanctioned-by-sort bindings produce neither findings nor
+     suppressions; the two annotated ones count as suppressed. *)
+  check_fixture "d2_allow.ml" ~expect_rule:"D2" ~expect_count:0
+    ~expect_suppressed:2
+
+let test_d3 () =
+  check_fixture "d3_pos.ml" ~expect_rule:"D3" ~expect_count:4
+    ~expect_suppressed:0;
+  check_fixture "d3_allow.ml" ~expect_rule:"D3" ~expect_count:0
+    ~expect_suppressed:2
+
+(* D4 is path-scoped: the same file is dirty under lib/core and clean
+   under its real test/lint path. *)
+let test_d4 () =
+  let source = read (fixture "d4_pos.ml") in
+  let findings, _ =
+    Lint.lint_string ~filename:"lib/core/d4_pos.ml" source
+  in
+  Alcotest.(check int) "d4 under lib/core: 4 findings" 4
+    (List.length findings);
+  Alcotest.(check (list string)) "all D4" [ "D4" ] (rules_of findings);
+  let findings, _ = Lint.lint_file (fixture "d4_pos.ml") in
+  Alcotest.(check int) "d4 outside domain-shared dirs: clean" 0
+    (List.length findings);
+  let allow_src = read (fixture "d4_allow.ml") in
+  let findings, suppressed =
+    Lint.lint_string ~filename:"lib/sim/d4_allow.ml" allow_src
+  in
+  Alcotest.(check int) "d4_allow: no findings" 0 (List.length findings);
+  Alcotest.(check int) "d4_allow: 3 suppressed" 3 suppressed
+
+let test_d5 () =
+  check_fixture "d5_pos.ml" ~expect_rule:"D5" ~expect_count:5
+    ~expect_suppressed:0;
+  check_fixture "d5_allow.ml" ~expect_rule:"D5" ~expect_count:0
+    ~expect_suppressed:3
+
+let test_d1_path_exemptions () =
+  let src = "let now () = Unix.gettimeofday ()\n" in
+  let dirty, _ = Lint.lint_string ~filename:"lib/sim/clock.ml" src in
+  Alcotest.(check int) "gettimeofday flagged elsewhere" 1
+    (List.length dirty);
+  let clean, _ = Lint.lint_string ~filename:"lib/obs/trace.ml" src in
+  Alcotest.(check int) "exempt in the opt-in timing path" 0
+    (List.length clean);
+  let rng_src = "let pick n = Random.int n\n" in
+  let dirty, _ = Lint.lint_string ~filename:"lib/core/x.ml" rng_src in
+  Alcotest.(check int) "Random.int flagged elsewhere" 1 (List.length dirty);
+  let clean, _ = Lint.lint_string ~filename:"lib/util/rng.ml" rng_src in
+  Alcotest.(check int) "exempt inside lib/util/rng.ml" 0 (List.length clean)
+
+let test_parse_error_is_e0 () =
+  let findings, _ = Lint.lint_string ~filename:"broken.ml" "let x = " in
+  match findings with
+  | [ f ] ->
+      Alcotest.(check string) "rule E0" "E0" f.Finding.rule;
+      Alcotest.(check string) "file" "broken.ml" f.Finding.file
+  | l -> Alcotest.failf "expected exactly one E0 finding, got %d" (List.length l)
+
+let test_enable_disable () =
+  let only r = String.equal r "E0" || String.equal r "D1" in
+  let findings, _ = Lint.lint_file ~enabled:only (fixture "d5_pos.ml") in
+  Alcotest.(check int) "D5 fixture clean with only D1 enabled" 0
+    (List.length findings);
+  let findings, _ = Lint.lint_file ~enabled:only (fixture "d1_pos.ml") in
+  Alcotest.(check int) "D1 still fires" 6 (List.length findings)
+
+let test_allowlist_parsing () =
+  Alcotest.(check (list string))
+    "multiple ids, em-dash stops the reason"
+    [ "D1"; "D4" ]
+    (Allowlist.ids_of_line
+       "(* lint: allow D1 D4 \xe2\x80\x94 reason mentioning D5 *)");
+  Alcotest.(check (list string))
+    "double-hyphen stops the reason too" [ "D2" ]
+    (Allowlist.ids_of_line "(* lint: allow D2 -- order-insensitive D3 *)");
+  Alcotest.(check (list string))
+    "no marker, no ids" []
+    (Allowlist.ids_of_line "let x = 1 (* allow D1 *)")
+
+(* The report is a pure function of the inputs: same fixture dir, same
+   bytes out — and the fixture dir is scanned in sorted order. *)
+let test_report_stability () =
+  let dir = Filename.concat exe_dir "lint" in
+  let r1 = Lint.lint_files [ dir ] in
+  let r2 = Lint.lint_files [ dir ] in
+  Alcotest.(check string) "byte-identical JSON reports" (Lint.to_json r1)
+    (Lint.to_json r2);
+  Alcotest.(check bool) "json has the stable header" true
+    (String.length (Lint.to_json r1) > 14
+    && String.sub (Lint.to_json r1) 0 14 = "{\"tool\":\"repro");
+  (* 4 positive fixtures fire (d4_pos is path-inert here). *)
+  Alcotest.(check (list string))
+    "per-rule counts over the fixture tree"
+    [ "D1:6"; "D2:4"; "D3:4"; "D5:5" ]
+    (List.map
+       (fun (r, n) -> Printf.sprintf "%s:%d" r n)
+       (Lint.findings_by_rule r1))
+
+(* The real gate is `dune build @lint`; replicate it here best-effort so
+   plain `dune runtest` also catches a dirty tree. The build dir mirrors
+   the lib sources next to the test executable's parent. *)
+let test_lib_tree_self_clean () =
+  let rec locate dir depth =
+    if depth > 6 then None
+    else if
+      Sys.file_exists
+        (Filename.concat dir (Filename.concat "lib" "core/runner.ml"))
+    then Some (Filename.concat dir "lib")
+    else locate (Filename.dirname dir) (depth + 1)
+  in
+  match locate exe_dir 0 with
+  | None -> ()  (* sandboxed layout without a lib mirror: @lint covers it *)
+  | Some lib ->
+      let report = Lint.lint_files [ lib ] in
+      Alcotest.(check (list string))
+        "lib tree is lint-clean" []
+        (List.map
+           (fun (f : Finding.t) ->
+             Printf.sprintf "%s:%d [%s]" f.Finding.file f.Finding.line
+               f.Finding.rule)
+           report.Lint.findings);
+      Alcotest.(check bool) "the intentional allows are counted" true
+        (report.Lint.suppressed >= 7)
+
+(* {2 lint_cli end to end} *)
+
+let run_cli args =
+  let tmp = Filename.temp_file "lint_cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s %s > %s 2>&1" lint_cli args tmp) in
+  let out = read tmp in
+  Sys.remove tmp;
+  (code, out)
+
+let test_cli_exit_codes () =
+  let dir = Filename.concat exe_dir "lint" in
+  let code, out = run_cli dir in
+  Alcotest.(check int) "dirty fixture tree: exit 1" 1 code;
+  Alcotest.(check bool) "text report names a rule" true
+    (String.length out > 0);
+  let code, _ = run_cli (Printf.sprintf "--disable D1,D2,D3 --disable D5 %s" dir) in
+  Alcotest.(check int) "all firing rules disabled: exit 0" 0 code;
+  let code, out = run_cli (Printf.sprintf "--format json %s" dir) in
+  Alcotest.(check int) "json format: still exit 1" 1 code;
+  Alcotest.(check bool) "json body" true
+    (String.length out > 14 && String.sub out 0 14 = "{\"tool\":\"repro");
+  let code, _ = run_cli "--list-rules" in
+  Alcotest.(check int) "--list-rules: exit 0" 0 code;
+  let code, _ = run_cli "--disable D9 ." in
+  Alcotest.(check int) "unknown rule id: exit 2" 2 code;
+  let code, _ = run_cli "/nonexistent/path" in
+  Alcotest.(check int) "missing path: exit 2" 2 code
+
+(* Injecting a violation into a lib/core-shaped tree must fail the CLI
+   the same way `dune build @lint` would fail on the real tree. *)
+let test_cli_injected_violation () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lint_inject_%d" (Unix.getpid ()))
+  in
+  let core = Filename.concat (Filename.concat root "lib") "core" in
+  let rec mkdir_p d =
+    if not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdir_p core;
+  let target = Filename.concat core "injected.ml" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists target then Sys.remove target;
+      List.iter
+        (fun d -> if Sys.file_exists d then Sys.rmdir d)
+        [ core; Filename.concat root "lib"; root ])
+    (fun () ->
+      Out_channel.with_open_bin target (fun oc ->
+          Out_channel.output_string oc (read (fixture "d4_pos.ml")));
+      let code, out = run_cli (Printf.sprintf "--format json %s" root) in
+      Alcotest.(check int) "injected D4 violation: exit 1" 1 code;
+      let has needle =
+        let nn = String.length needle and no = String.length out in
+        let rec go i =
+          i + nn <= no && (String.sub out i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "report names D4" true (has "\"rule\":\"D4\"");
+      Alcotest.(check bool) "report names the injected file" true
+        (has "injected.ml"))
+
+(* {2 The D2 fix, dynamically}
+
+   Randomize hashtable hashing in-process (every Hashtbl.create from
+   here on gets a fresh random seed, so two runs iterate their tables in
+   different orders — the same perturbation OCAMLRUNPARAM=R applies at
+   startup, which CI and test_cli exercise across processes) and prove
+   byz run traces and assignments are still byte-identical. Before the
+   plurality tie-break fix this is exactly the path that could flip. *)
+let test_byz_trace_identical_under_randomized_hashing () =
+  Hashtbl.randomize ();
+  let go () =
+    let t = Trace.create ~meta:[ ("fixture", `Str "lint_d2") ] () in
+    let a =
+      E.run_byz ~trace:t ~protocol:E.This_work_byz ~n:16 ~namespace:1024
+        ~adversary:(E.Split_world_byz 2) ~pool_probability:0.7 ~seed:5 ()
+    in
+    (Trace.contents t, a.Repro_renaming.Runner.assignments)
+  in
+  let trace1, asg1 = go () in
+  let trace2, asg2 = go () in
+  Alcotest.(check string) "byte-identical traces" trace1 trace2;
+  Alcotest.(check (list (pair int int))) "identical assignments" asg1 asg2
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "D1 fixtures" `Quick test_d1;
+      Alcotest.test_case "D2 fixtures" `Quick test_d2;
+      Alcotest.test_case "D3 fixtures" `Quick test_d3;
+      Alcotest.test_case "D4 fixtures + path scoping" `Quick test_d4;
+      Alcotest.test_case "D5 fixtures" `Quick test_d5;
+      Alcotest.test_case "D1 path exemptions" `Quick test_d1_path_exemptions;
+      Alcotest.test_case "parse error is E0" `Quick test_parse_error_is_e0;
+      Alcotest.test_case "enable/disable" `Quick test_enable_disable;
+      Alcotest.test_case "allow-comment parsing" `Quick test_allowlist_parsing;
+      Alcotest.test_case "report stability" `Quick test_report_stability;
+      Alcotest.test_case "lib tree self-clean" `Quick
+        test_lib_tree_self_clean;
+      Alcotest.test_case "lint_cli exit codes" `Quick test_cli_exit_codes;
+      Alcotest.test_case "lint_cli injected violation" `Quick
+        test_cli_injected_violation;
+      Alcotest.test_case "byz trace identical under randomized hashing"
+        `Quick test_byz_trace_identical_under_randomized_hashing;
+    ] )
