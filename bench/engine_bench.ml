@@ -7,13 +7,20 @@
    Usage:
      dune exec bench/engine_bench.exe                  # full sweep
      dune exec bench/engine_bench.exe -- --smoke       # CI smoke mode
+     dune exec bench/engine_bench.exe -- --smoke-large # n=1024 no-fault
      dune exec bench/engine_bench.exe -- --out F.json  # write JSON to F
      dune exec bench/engine_bench.exe -- --trace F     # + one traced run
+     dune exec bench/engine_bench.exe -- --check-against BENCH_engine.json
+                                       # fail on >20% alloc regression
 
    The JSON report (default BENCH_engine.json in the working directory)
    is a flat list of measurements; the committed BENCH_engine.json at
-   the repo root additionally keeps the pre-overhaul numbers for
-   comparison. *)
+   the repo root additionally keeps the pre-overhaul and pre-fast-path
+   numbers for comparison. [--check-against] compares each fresh
+   measurement's alloc_mwords_per_run against the committed row with
+   the same (path, n) and exits 1 if any regresses by more than
+   [--tolerance] (default 0.20): the CI guard that broadcast delivery
+   stays O(n), not O(n²), in allocations. *)
 
 module E = Repro_renaming.Experiment
 module Runner = Repro_renaming.Runner
@@ -87,6 +94,84 @@ let write_json ~out ~mode ms =
     (String.concat ",\n" (List.map json_of_measurement ms));
   close_out oc
 
+(* Committed-baseline lookup for [--check-against]: whitespace-normalise
+   the committed file (it is pretty-printed; this binary writes one row
+   per line — both collapse to the same token stream), cut everything
+   from "pre_overhaul"/"pre_fastpath" on so only the current
+   measurements are consulted, then scan for the fixed field order the
+   writer guarantees. Not a JSON parser on purpose: the format is ours,
+   and a scanner keeps the bench binary dependency-free. *)
+let committed_alloc ~file ~path ~n =
+  let raw = In_channel.with_open_bin file In_channel.input_all in
+  let b = Buffer.create (String.length raw) in
+  String.iter
+    (fun c -> if c <> ' ' && c <> '\n' && c <> '\t' && c <> '\r' then
+        Buffer.add_char b c)
+    raw;
+  let s = Buffer.contents b in
+  (* Naive substring search; inputs are small. *)
+  let find_sub s needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i =
+      if i + nl > sl then None
+      else if String.sub s i nl = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let cut_at needle s =
+    match find_sub s needle with Some i -> String.sub s 0 i | None -> s
+  in
+  let s = cut_at "\"pre_overhaul\"" (cut_at "\"pre_fastpath\"" s) in
+  match find_sub s (Printf.sprintf "{\"path\":\"%s\",\"n\":%d," path n) with
+  | None -> None
+  | Some i -> (
+      let rest = String.sub s i (String.length s - i) in
+      let key = "\"alloc_mwords_per_run\":" in
+      match find_sub rest key with
+      | None -> None
+      | Some j ->
+          let j = j + String.length key in
+          let sl = String.length rest in
+          let k = ref j in
+          while
+            !k < sl
+            && (match rest.[!k] with
+               | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+               | _ -> false)
+          do
+            incr k
+          done;
+          float_of_string_opt (String.sub rest j (!k - j)))
+
+let check_against ~file ~tolerance ms =
+  let failures = ref 0 in
+  List.iter
+    (fun m ->
+      match committed_alloc ~file ~path:m.path ~n:m.n with
+      | None ->
+          Printf.printf "check: %-16s n=%-5d no committed baseline, skipped\n"
+            m.path m.n
+      | Some committed ->
+          let limit = committed *. (1. +. tolerance) in
+          if m.alloc_mwords > limit then begin
+            incr failures;
+            Printf.printf
+              "check: %-16s n=%-5d FAIL  %.3f Mwords/run > %.3f (committed \
+               %.3f +%.0f%%)\n"
+              m.path m.n m.alloc_mwords limit committed (100. *. tolerance)
+          end
+          else
+            Printf.printf
+              "check: %-16s n=%-5d ok    %.3f Mwords/run <= %.3f (committed \
+               %.3f)\n"
+              m.path m.n m.alloc_mwords limit committed)
+    ms;
+  if !failures > 0 then begin
+    Printf.printf "check: %d allocation regression(s) vs %s\n" !failures file;
+    exit 1
+  end
+
 (* One fixed-seed committee-killer run recorded as a run-trace/v1 JSONL
    file — with per-round wall-clock and allocation, since a bench trace
    is for profiling, not byte-compared (trace_cli diff strips the timing
@@ -113,12 +198,16 @@ let write_trace ~path ~n file =
 
 let () =
   Repro_renaming.Parallel.tune_gc ();
-  let smoke = ref false and out = ref "BENCH_engine.json" in
+  let mode = ref `Full and out = ref "BENCH_engine.json" in
   let trace = ref None in
+  let check = ref None and tolerance = ref 0.20 in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
-        smoke := true;
+        mode := `Smoke;
+        parse rest
+    | "--smoke-large" :: rest ->
+        mode := `Smoke_large;
         parse rest
     | "--out" :: f :: rest ->
         out := f;
@@ -126,16 +215,37 @@ let () =
     | "--trace" :: f :: rest ->
         trace := Some f;
         parse rest
+    | "--check-against" :: f :: rest ->
+        check := Some f;
+        parse rest
+    | "--tolerance" :: t :: rest ->
+        tolerance := float_of_string t;
+        parse rest
     | a :: _ -> invalid_arg ("engine_bench: unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let both = [ "no-fault"; "committee-killer" ] in
+  (* The full sweep runs committee-killer up to n=2048; at n=4096 the
+     crash-adversary observation (envelope materialization the adversary
+     API requires) dominates and the point takes minutes without saying
+     anything new, so only the no-fault scaling point runs there. *)
   let configs =
-    if !smoke then [ (64, 3) ]
-    else [ (128, 8); (256, 5); (512, 3); (2048, 1) ]
+    match !mode with
+    | `Smoke -> [ (64, 3, both) ]
+    | `Smoke_large -> [ (1024, 1, [ "no-fault" ]) ]
+    | `Full ->
+        [
+          (128, 8, both);
+          (256, 5, both);
+          (512, 3, both);
+          (1024, 2, both);
+          (2048, 1, both);
+          (4096, 1, [ "no-fault" ]);
+        ]
   in
   let ms =
     List.concat_map
-      (fun (n, runs) ->
+      (fun (n, runs, paths) ->
         List.map
           (fun path ->
             let m = measure ~path ~n ~runs in
@@ -144,13 +254,22 @@ let () =
                %.2f s)\n%!"
               m.path m.n m.rounds_per_sec m.alloc_mwords m.runs m.wall_s;
             m)
-          [ "no-fault"; "committee-killer" ])
+          paths)
       configs
   in
-  write_json ~out:!out ~mode:(if !smoke then "smoke" else "full") ms;
+  let mode_name =
+    match !mode with
+    | `Smoke -> "smoke"
+    | `Smoke_large -> "smoke-large"
+    | `Full -> "full"
+  in
+  write_json ~out:!out ~mode:mode_name ms;
   Printf.printf "wrote %s\n" !out;
+  (match !check with
+  | Some file -> check_against ~file ~tolerance:!tolerance ms
+  | None -> ());
   match !trace with
   | Some file ->
-      let n = if !smoke then 64 else 128 in
+      let n = match !mode with `Full -> 128 | _ -> 64 in
       write_trace ~path:"committee-killer" ~n file
   | None -> ()

@@ -385,14 +385,12 @@ let collect_new_identity ctx ~view first_inbox =
   let threshold = (List.length view / 2) + 1 in
   let seen : (int, int option) Hashtbl.t = Hashtbl.create 16 in
   let absorb inbox =
-    List.iter
-      (fun (e : Net.envelope) ->
-        match e.msg with
+    Net.Inbox.iter inbox ~f:(fun ~src msg ->
+        match msg with
         | Msg.New v ->
-            if List.mem e.src view && not (Hashtbl.mem seen e.src) then
-              Hashtbl.replace seen e.src v
+            if List.mem src view && not (Hashtbl.mem seen src) then
+              Hashtbl.replace seen src v
         | _ -> ())
-      inbox
   in
   let decide () =
     if Hashtbl.length seen < threshold then None
@@ -443,12 +441,10 @@ let program ?telemetry params ctx =
           if elected then Net.broadcast ctx Msg.Elect else Net.skip_round ctx
         in
         let view =
-          List.filter_map
-            (fun (e : Net.envelope) ->
-              match e.msg with
-              | Msg.Elect when Committee_pool.mem pool e.src -> Some e.src
-              | _ -> None)
-            inbox
+          Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
+              match msg with
+              | Msg.Elect when Committee_pool.mem pool src -> src :: acc
+              | _ -> acc)
           |> List.sort_uniq Int.compare
         in
         (elected, view, Committee_pool.king_order pool)
@@ -463,10 +459,8 @@ let program ?telemetry params ctx =
           if elected then Net.broadcast ctx Msg.Elect else Net.skip_round ctx
         in
         let view =
-          List.filter_map
-            (fun (e : Net.envelope) ->
-              match e.msg with Msg.Elect -> Some e.src | _ -> None)
-            inbox
+          Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
+              match msg with Msg.Elect -> src :: acc | _ -> acc)
           |> List.sort_uniq Int.compare
         in
         let arr = Array.of_list view in
@@ -482,10 +476,8 @@ let program ?telemetry params ctx =
     if not elected then Net.skip_round ctx
     else begin
       let announced =
-        List.filter_map
-          (fun (e : Net.envelope) ->
-            match e.msg with Msg.Announce -> Some e.src | _ -> None)
-          inbox
+        Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
+            match msg with Msg.Announce -> src :: acc | _ -> acc)
         |> List.sort_uniq Int.compare
       in
       let l = Bitvec.create namespace in
@@ -494,11 +486,7 @@ let program ?telemetry params ctx =
         {
           Committee_net.me;
           members = view;
-          exchange =
-            (fun out ->
-              List.map
-                (fun (e : Net.envelope) -> (e.src, e.msg))
-                (Net.exchange ctx out));
+          exchange = (fun out -> Net.Inbox.pairs (Net.exchange ctx out));
         }
       in
       (* Stage 2b: committee-internal consensus on the identity list. *)

@@ -116,17 +116,15 @@ type state = {
   mutable elected : bool;
 }
 
-(* The committee-side folds below run straight over the inbox envelopes
-   and re-match [Msg.Status] in each pass: with hundreds of reporters per
+(* The committee-side folds below run straight over the inbox view and
+   re-match [Msg.Status] in each pass: with hundreds of reporters per
    member and a committee of the same order, an intermediate record per
    status is the dominant allocation of the whole simulation. *)
 let fold_statuses f acc inbox =
-  List.fold_left
-    (fun acc (e : Net.envelope) ->
-      match e.msg with
-      | Msg.Status { id; iv; d; p } -> f acc ~src:e.src ~id ~iv ~d ~p
+  Net.Inbox.fold inbox ~init:acc ~f:(fun acc ~src msg ->
+      match msg with
+      | Msg.Status { id; iv; d; p } -> f acc ~src ~id ~iv ~d ~p
       | Msg.Notify | Msg.Response _ -> acc)
-    acc inbox
 
 (* Figure 2: the verdicts a committee member sends back, one per status
    received. Halving only touches reporters at the minimum depth; for
@@ -138,111 +136,213 @@ let fold_statuses f acc inbox =
    from different views. *)
 (* Verdict groups: one per distinct interval reported at the minimum
    depth (decided singletons excluded) -- the only intervals whose rank
-   and |B| the halving rule ever queries.  A committee-killer inbox
-   carries hundreds of distinct decided singletons but only a handful
-   of active minimum-depth intervals (~9 measured at n = 256), so the
-   per-call index is a short list scanned linearly: no hashing, and no
-   allocation beyond the id lists themselves. *)
+   and |B| the halving rule ever queries.  Honest reporters descend one
+   shared halving tree, so distinct minimum-depth intervals are pairwise
+   disjoint: the index keeps the groups sorted by left endpoint and
+   resolves each status to its (at most one) relevant group by binary
+   search, making the fill sweep O(statuses log groups) instead of the
+   O(statuses groups) linear scan (~34 live groups per inbox at
+   n = 1024, so the scan dominated the whole simulation).  Disjointness
+   is verified while collecting; an inbox that violates it (malformed
+   statuses outside the shared tree) falls back to the general scan, so
+   the fast index is a pure strength reduction. *)
 type vgroup = {
-  g_key : int;  (* packed interval of the group *)
+  g_lo : int;  (* the group's reported interval, unpacked *)
+  g_hi : int;
   g_bot : Interval.t;
   g_bot_size : int;
-  mutable g_ids : int list;  (* reporters of exactly this interval *)
-  mutable g_sorted : int array;  (* [||] until the first rank query *)
+  mutable g_ids : int array;  (* reporters of exactly this interval *)
+  mutable g_nids : int;
+  mutable g_sorted : bool;  (* [g_ids.(0 .. g_nids-1)] sorted yet? *)
   mutable g_b : int;  (* #statuses with iv inside [g_bot] *)
 }
 
-(* Namespaces stay far below 2^31, so an interval packs into one int. *)
-let key_of (iv : Interval.t) = (iv.Interval.lo lsl 31) lor iv.Interval.hi
+let make_group iv =
+  let bot = Interval.bot iv in
+  {
+    g_lo = iv.Interval.lo;
+    g_hi = iv.Interval.hi;
+    g_bot = bot;
+    g_bot_size = Interval.size bot;
+    g_ids = [||];
+    g_nids = 0;
+    g_sorted = false;
+    g_b = 0;
+  }
+
+let group_add_id g id =
+  (if g.g_nids = Array.length g.g_ids then begin
+     let a = Array.make (max 8 (2 * g.g_nids)) 0 in
+     Array.blit g.g_ids 0 a 0 g.g_nids;
+     g.g_ids <- a
+   end);
+  g.g_ids.(g.g_nids) <- id;
+  g.g_nids <- g.g_nids + 1
+
+(* #{reporters of the group's interval with identity <= [id]}. *)
+let rank_in g id =
+  if not g.g_sorted then begin
+    if Array.length g.g_ids <> g.g_nids then
+      g.g_ids <- Array.sub g.g_ids 0 g.g_nids;
+    Array.sort Int.compare g.g_ids;
+    g.g_sorted <- true
+  end;
+  let a = g.g_ids in
+  let lo = ref 0 and hi = ref g.g_nids in
+  while !lo < !hi do
+    let m = (!lo + !hi) / 2 in
+    if a.(m) <= id then lo := m + 1 else hi := m
+  done;
+  !lo
+
+(* Index of the rightmost group (in the sorted prefix [gs.(0..ng-1)])
+   whose interval starts at or left of [lo]; -1 if none. *)
+let locate gs ng lo =
+  let l = ref 0 and h = ref ng in
+  while !l < !h do
+    let m = (!l + !h) / 2 in
+    if (Array.unsafe_get gs m).g_lo <= lo then l := m + 1 else h := m
+  done;
+  !l - 1
+
+(* Collect the verdict groups of [inbox] into an array sorted by left
+   endpoint.  Returns [None] the moment two distinct groups overlap:
+   the shared-tree invariant failed and the caller must use the
+   order-insensitive linear scan instead. *)
+let collect_groups d_min inbox =
+  let gs = ref [||] in
+  let ng = ref 0 in
+  let ok = ref true in
+  fold_statuses
+    (fun () ~src:_ ~id:_ ~iv ~d ~p:_ ->
+      if !ok && d = d_min && not (Interval.is_singleton iv) then begin
+        let lo = iv.Interval.lo and hi = iv.Interval.hi in
+        let at = locate !gs !ng lo in
+        if at >= 0 && (!gs).(at).g_lo = lo then begin
+          if (!gs).(at).g_hi <> hi then ok := false
+        end
+        else if at >= 0 && lo <= (!gs).(at).g_hi then ok := false
+        else if at + 1 < !ng && (!gs).(at + 1).g_lo <= hi then ok := false
+        else begin
+          (if !ng = Array.length !gs then begin
+             let a = Array.make (max 8 (2 * !ng)) (make_group iv) in
+             Array.blit !gs 0 a 0 !ng;
+             gs := a
+           end);
+          let a = !gs in
+          Array.blit a (at + 1) a (at + 2) (!ng - at - 1);
+          a.(at + 1) <- make_group iv;
+          incr ng
+        end
+      end)
+    () inbox;
+  if !ok then Some (!gs, !ng) else None
+
+(* One sweep fills every group: a status joins a group's reporter list
+   if it reports exactly the group's interval (whatever its depth --
+   ranks count all of them), and bumps the group's |B| if its interval
+   sits inside the group's bottom half.  With pairwise-disjoint groups
+   at most one group can care about any given status, and only one
+   whose interval starts at or left of the status's. *)
+let fill_groups gs ng inbox =
+  fold_statuses
+    (fun () ~src:_ ~id ~iv ~d:_ ~p:_ ->
+      let at = locate gs ng iv.Interval.lo in
+      if at >= 0 then begin
+        let g = Array.unsafe_get gs at in
+        if iv.Interval.lo <= g.g_hi then
+          if iv.Interval.lo = g.g_lo && iv.Interval.hi = g.g_hi then
+            group_add_id g id
+          else if Interval.subset iv g.g_bot then g.g_b <- g.g_b + 1
+      end)
+    () inbox
+
+(* General path, no disjointness assumed: every status is tested
+   against every group, first-created group wins an (impossible under
+   the tree invariant) ambiguous match -- byte-compatible with the
+   historical behaviour on arbitrary inboxes. *)
+let fill_groups_scan garr ng inbox =
+  fold_statuses
+    (fun () ~src:_ ~id ~iv ~d:_ ~p:_ ->
+      let lo = iv.Interval.lo and hi = iv.Interval.hi in
+      for j = 0 to ng - 1 do
+        let g = Array.unsafe_get garr j in
+        if g.g_lo = lo && g.g_hi = hi then group_add_id g id
+        else if Interval.subset iv g.g_bot then g.g_b <- g.g_b + 1
+      done)
+    () inbox
+
+let collect_groups_scan d_min inbox =
+  let groups =
+    fold_statuses
+      (fun acc ~src:_ ~id:_ ~iv ~d ~p:_ ->
+        if d <> d_min || Interval.is_singleton iv then acc
+        else if
+          List.exists
+            (fun g -> g.g_lo = iv.Interval.lo && g.g_hi = iv.Interval.hi)
+            acc
+        then acc
+        else make_group iv :: acc)
+      [] inbox
+  in
+  Array.of_list groups
 
 let committee_action st inbox =
-  let d_min =
-    fold_statuses
-      (fun acc ~src:_ ~id:_ ~iv:_ ~d ~p:_ -> min acc d)
-      max_int inbox
-  in
+  (* One pass computes both the minimum depth (Figure 2) and the
+     escalation maximum the member adopts before answering (Figure 3's
+     p-hat on the committee side): the two folds over hundreds of
+     statuses fuse into one. *)
+  let d_min = ref max_int and p_max = ref min_int in
+  Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
+      match msg with
+      | Msg.Status { d; p; _ } ->
+          if d < !d_min then d_min := d;
+          if p > !p_max then p_max := p
+      | Msg.Notify | Msg.Response _ -> ());
+  let d_min = !d_min in
   if d_min = max_int then [] (* no status in the inbox *)
   else begin
-    let groups =
-      fold_statuses
-        (fun acc ~src:_ ~id:_ ~iv ~d ~p:_ ->
-          if d <> d_min || Interval.is_singleton iv then acc
-          else
-            let key = key_of iv in
-            if List.exists (fun g -> g.g_key = key) acc then acc
-            else
-              let bot = Interval.bot iv in
-              {
-                g_key = key;
-                g_bot = bot;
-                g_bot_size = Interval.size bot;
-                g_ids = [];
-                g_sorted = [||];
-                g_b = 0;
-              }
-              :: acc)
-        [] inbox
+    if !p_max > st.pv then st.pv <- !p_max;
+    let sorted, gs, ng =
+      match collect_groups d_min inbox with
+      | Some (gs, ng) ->
+          fill_groups gs ng inbox;
+          (true, gs, ng)
+      | None ->
+          let gs = collect_groups_scan d_min inbox in
+          let ng = Array.length gs in
+          fill_groups_scan gs ng inbox;
+          (false, gs, ng)
     in
-    let garr = Array.of_list groups in
-    let ng = Array.length garr in
-    (* One sweep fills every group: a status joins a group's reporter
-       list if it reports exactly the group's interval (whatever its
-       depth -- ranks count all of them), and bumps the group's |B| if
-       its interval sits inside the group's bottom half.  The two
-       cases are exclusive for any single group. *)
-    fold_statuses
-      (fun () ~src:_ ~id ~iv ~d:_ ~p:_ ->
-        let key = key_of iv in
-        for j = 0 to ng - 1 do
-          let g = Array.unsafe_get garr j in
-          if g.g_key = key then g.g_ids <- id :: g.g_ids
-          else if Interval.subset iv g.g_bot then g.g_b <- g.g_b + 1
-        done)
-      () inbox;
-    let rec find_g j key =
-      let g = Array.unsafe_get garr j in
-      if g.g_key = key then g else find_g (j + 1) key
+    let rec scan_g j lo hi =
+      let g = Array.unsafe_get gs j in
+      if g.g_lo = lo && g.g_hi = hi then g else scan_g (j + 1) lo hi
     in
-    let rank_in g id =
-      (* #{reporters of the group''s interval with identity <= [id]} *)
-      if Array.length g.g_sorted = 0 then begin
-        let a = Array.of_list g.g_ids in
-        Array.sort Int.compare a;
-        g.g_sorted <- a
-      end;
-      let a = g.g_sorted in
-      let lo = ref 0 and hi = ref (Array.length a) in
-      while !lo < !hi do
-        let m = (!lo + !hi) / 2 in
-        if a.(m) <= id then lo := m + 1 else hi := m
-      done;
-      !lo
+    let find_g (iv : Interval.t) =
+      if sorted then Array.unsafe_get gs (locate gs ng iv.Interval.lo)
+      else scan_g 0 iv.Interval.lo iv.Interval.hi
     in
-    (* One verdict per status, in inbox order (recursion depth is at
-       most the number of reporters, i.e. bounded by [n]). *)
-    let rec verdicts = function
-      | [] -> []
-      | (e : Net.envelope) :: rest -> (
-          match e.msg with
-          | Msg.Status { id; iv; d; p = _ } ->
-              let verdict =
-                if d <> d_min then Msg.Response { id; iv; d; p = st.pv }
-                else if Interval.is_singleton iv then
-                  (* A decided node: nothing left to halve; bump its
-                     depth so it stops defining the minimum. *)
-                  Msg.Response { id; iv; d = d + 1; p = st.pv }
+    (* One verdict per status, in inbox order: consing onto the
+       accumulator of a reverse fold yields that order directly. *)
+    Net.Inbox.fold_rev inbox ~init:[] ~f:(fun acc ~src msg ->
+        match msg with
+        | Msg.Notify | Msg.Response _ -> acc
+        | Msg.Status { id; iv; d; p = _ } ->
+            let verdict =
+              if d <> d_min then Msg.Response { id; iv; d; p = st.pv }
+              else if Interval.is_singleton iv then
+                (* A decided node: nothing left to halve; bump its
+                   depth so it stops defining the minimum. *)
+                Msg.Response { id; iv; d = d + 1; p = st.pv }
+              else
+                let g = find_g iv in
+                if g.g_b + rank_in g id <= g.g_bot_size then
+                  Msg.Response { id; iv = g.g_bot; d = d + 1; p = st.pv }
                 else
-                  let g = find_g 0 (key_of iv) in
-                  if g.g_b + rank_in g id <= g.g_bot_size then
-                    Msg.Response { id; iv = g.g_bot; d = d + 1; p = st.pv }
-                  else
-                    Msg.Response
-                      { id; iv = Interval.top iv; d = d + 1; p = st.pv }
-              in
-              (e.src, verdict) :: verdicts rest
-          | Msg.Notify | Msg.Response _ -> verdicts rest)
-    in
-    verdicts inbox
+                  Msg.Response
+                    { id; iv = Interval.top iv; d = d + 1; p = st.pv }
+            in
+            (src, verdict) :: acc)
   end
 
 (* Figure 3: adopt the deepest (then leftmost) committee verdict; on
@@ -260,9 +360,8 @@ let node_action params ~n rng st inbox =
      level seen. *)
   let found = ref false in
   let best_iv = ref st.iv and best_d = ref 0 and p_hat = ref min_int in
-  List.iter
-    (fun (e : Net.envelope) ->
-      match e.msg with
+  Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
+      match msg with
       | Msg.Response { id = _; iv; d; p } ->
           if not !found then begin
             found := true;
@@ -280,8 +379,7 @@ let node_action params ~n rng st inbox =
             end;
             if p > !p_hat then p_hat := p
           end
-      | Msg.Notify | Msg.Status _ -> ())
-    inbox;
+      | Msg.Notify | Msg.Status _ -> ());
   if not !found then begin
     st.pv <- st.pv + 1;
     self_elect ()
@@ -313,32 +411,44 @@ let program ?telemetry params ctx =
   let rng = Net.rng ctx in
   let full_iv = Interval.full (target_size params ~n) in
   let st = { iv = full_iv; dv = 0; pv = 0; elected = false } in
+  (* Committee-id scratch buffer, reused across phases: the committee
+     list is rebuilt from every announcement inbox by each of the n
+     nodes, so building it with a fold + [List.rev] doubled the cons
+     cells of the whole round. *)
+  let cbuf = ref (Array.make 16 0) in
   st.elected <- Rng.bernoulli rng (election_probability params ~n ~p:0);
   for phase = 1 to phases params ~n do
     (* Round 1: committee announcement. *)
     let inbox1 =
       if st.elected then Net.broadcast ctx Msg.Notify else Net.skip_round ctx
     in
-    let committee =
-      List.filter_map
-        (fun (e : Net.envelope) ->
-          match e.msg with
-          | Msg.Notify -> Some e.src
-          | Msg.Status _ | Msg.Response _ -> None)
-        inbox1
-    in
+    let ck = ref 0 in
+    Net.Inbox.iter inbox1 ~f:(fun ~src msg ->
+        match msg with
+        | Msg.Notify ->
+            (if !ck = Array.length !cbuf then begin
+               let a = Array.make (2 * !ck) 0 in
+               Array.blit !cbuf 0 a 0 !ck;
+               cbuf := a
+             end);
+            (!cbuf).(!ck) <- src;
+            incr ck
+        | Msg.Status _ | Msg.Response _ -> ());
+    (* Ascending src order, one cons per member. *)
+    let committee = ref [] in
+    for i = !ck - 1 downto 0 do
+      committee := (!cbuf).(i) :: !committee
+    done;
+    let committee = !committee in
     (* Round 2: report status to every announced committee member — one
        message value fanned out by the engine. *)
     let my_status =
       Msg.Status { id = Net.my_id ctx; iv = st.iv; d = st.dv; p = st.pv }
     in
     let inbox2 = Net.multisend ctx ~dsts:committee my_status in
-    if st.elected then
-      st.pv <-
-        fold_statuses
-          (fun acc ~src:_ ~id:_ ~iv:_ ~d:_ ~p -> max acc p)
-          st.pv inbox2;
-    (* Round 3: committee verdicts out, node reaction in. *)
+    (* Round 3: committee verdicts out, node reaction in.  The p-hat
+       adoption that used to sit here folds into [committee_action]'s
+       first pass over the same inbox. *)
     let out3 =
       if st.elected then committee_action st inbox2 else []
     in

@@ -67,11 +67,9 @@ let program params ctx =
   let known = ref (Iset.singleton (Net.my_id ctx)) in
   for _ = 1 to rounds_of params ~n do
     let inbox = Net.broadcast ctx (Msg.Known (Iset.elements !known)) in
-    List.iter
-      (fun (e : Net.envelope) ->
-        let (Msg.Known ids) = e.msg in
+    Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
+        let (Msg.Known ids) = msg in
         known := Iset.union !known (Iset.of_list ids))
-      inbox
   done;
   (* New identity: rank of the node's own identity in the common set. *)
   let rank = Iset.cardinal (Iset.filter (fun i -> i <= Net.my_id ctx) !known) in

@@ -68,6 +68,47 @@ module Make (M : MSG) : sig
 
   type ctx
 
+  type inbox
+  (** What a round's exchange returns: an allocation-free view over the
+      messages delivered to this node, sorted by source identity.
+
+      The view aliases engine-owned buffers that are rewound and
+      refilled every round — it is only valid until the node's next
+      {!exchange}/{!multisend}/{!broadcast}/{!skip_round} call. Consume
+      it (or copy it out with {!Inbox.pairs}/{!Inbox.to_list}) before
+      exchanging again; never stash a view across rounds.
+
+      Fast-path broadcasts are stored once per {e sender} in a
+      round-global table every recipient's view shares, so a broadcast
+      round costs O(n) allocations engine-wide instead of O(n²)
+      envelope records. *)
+
+  (** Read-only access to an {!inbox}. Iteration order is ascending
+      source identity — the same order the former [envelope list] inbox
+      carried. *)
+  module Inbox : sig
+    type t = inbox
+
+    val length : t -> int
+
+    val iter : t -> f:(src:int -> M.t -> unit) -> unit
+
+    val fold : t -> init:'a -> f:('a -> src:int -> M.t -> 'a) -> 'a
+
+    val fold_rev : t -> init:'a -> f:('a -> src:int -> M.t -> 'a) -> 'a
+    (** [fold] in reverse (descending [src]) order. Folding with
+        [fun acc ~src msg -> x :: acc] builds a list in inbox order
+        without the [List.rev] copy a forward fold would need. *)
+
+    val pairs : t -> (int * M.t) list
+    (** Materialize as [(src, msg)] pairs (ascending [src]); allocates. *)
+
+    val to_list : t -> envelope list
+    (** Materialize as envelopes addressed to this node (ascending
+        [src]); allocates. The compatibility escape hatch for consumers
+        that need the old representation. *)
+  end
+
   val my_id : ctx -> int
   val n : ctx -> int
   val all_ids : ctx -> int array
@@ -79,31 +120,32 @@ module Make (M : MSG) : sig
   val rng : ctx -> Repro_util.Rng.t
   (** The node's private randomness, derived from the run seed. *)
 
-  val exchange : ctx -> (int * M.t) list -> envelope list
+  val exchange : ctx -> (int * M.t) list -> inbox
   (** [exchange ctx outbox] sends each [(dst, msg)] in this round and
-      returns the messages addressed to this node in the same round,
-      sorted by source identity. Must only be called from inside a node
-      program run by {!run}.
+      returns a view of the messages addressed to this node in the same
+      round, sorted by source identity. Must only be called from inside
+      a node program run by {!run}.
 
       Sending to a [dst] outside the participant set is a programming
       error and makes the run raise [Invalid_argument] (misaddressed
       {e Byzantine} traffic, by contrast, is silently dropped and
       counted in [Metrics.byz_misaddressed]). *)
 
-  val multisend : ctx -> dsts:int list -> M.t -> envelope list
+  val multisend : ctx -> dsts:int list -> M.t -> inbox
   (** [multisend ctx ~dsts m] behaves like [exchange] of [m] to each
       destination in [dsts] (in order), but the engine fans the single
       message value out itself: emitting it costs O(1) in outbox
       structure and its size is computed once for the whole batch. The
       status-report rounds of the renaming protocols are this shape. *)
 
-  val broadcast : ctx -> M.t -> envelope list
+  val broadcast : ctx -> M.t -> inbox
   (** [broadcast ctx m] = [exchange] of [m] to every link (including the
       node's own). Broadcasts take a fast path through the engine: the
-      outbox is represented as a single value and fanned out to the [n]
-      recipients once, so emitting one is O(1) for the sender. *)
+      outbox is a single value, delivered as one shared per-round entry
+      every recipient's view reads — O(1) for the sender, O(1) delivered
+      structure per round (not per recipient). *)
 
-  val skip_round : ctx -> envelope list
+  val skip_round : ctx -> inbox
   (** Send nothing this round, still observing the round barrier. *)
 
   (** {1 Adversaries} *)
@@ -160,8 +202,18 @@ module Make (M : MSG) : sig
       the tap only when addressed inside the participant set (misaddressed
       ones are dropped and only counted). The tap call order is part of
       the deterministic contract: ascending sender identity, emission
-      order within a sender. Used by the replay/fuzzing tooling in
-      [lib/check] to produce byte-identical execution traces.
+      order within a sender (a broadcast's emission order is the [ids]
+      array order). Used by the replay/fuzzing tooling in [lib/check] to
+      produce byte-identical execution traces.
+
+      Envelope records are materialized only where this API demands
+      them: for the tap, for the crash adversary's observation, and for
+      Byzantine strategy inboxes. A hookless no-fault run delivers
+      through shared structure without building a single envelope; runs
+      with a crash adversary attached take a fallback path that delivers
+      the observation's materialized envelopes and is byte-identical to
+      the fast path in metrics and run-trace output (asserted by
+      [test/test_delivery_equiv.ml]).
 
       The remaining hooks are the run-trace observability surface
       ([Repro_obs.Trace] plugs into all three); their call order is part

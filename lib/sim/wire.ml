@@ -7,7 +7,14 @@ module Writer = struct
   let ensure t bits =
     let needed = (t.len_bits + bits + 7) / 8 in
     if needed > Bytes.length t.bytes then begin
-      let bigger = Bytes.make (max needed (2 * Bytes.length t.bytes)) '\000' in
+      (* Grow geometrically from the needed size in one step: doubling
+         until [needed] is covered means a single blit per [ensure] even
+         for appends much larger than the current buffer. *)
+      let cap = ref (max 16 (2 * Bytes.length t.bytes)) in
+      while !cap < needed do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.make !cap '\000' in
       Bytes.blit t.bytes 0 bigger 0 (Bytes.length t.bytes);
       t.bytes <- bigger
     end
@@ -21,21 +28,59 @@ module Writer = struct
     end;
     t.len_bits <- t.len_bits + 1
 
+  (* Invariant used by the fast paths below: the buffer is zero-filled
+     at creation and growth, and no writer ever sets a bit at or beyond
+     [len_bits] — so every bit past the end is already 0. *)
+
+  let add_zeros t k =
+    if k < 0 then invalid_arg "Wire.Writer.add_zeros: negative";
+    if k > 0 then begin
+      ensure t k;
+      t.len_bits <- t.len_bits + k
+    end
+
   let add_fixed t v ~width =
     if width < 0 || width > 62 then invalid_arg "Wire.Writer.add_fixed: width";
     if v < 0 || (width < 62 && v lsr width <> 0) then
       invalid_arg "Wire.Writer.add_fixed: value does not fit";
-    for i = width - 1 downto 0 do
-      add_bit t ((v lsr i) land 1 = 1)
-    done
+    if width < 8 then
+      for i = width - 1 downto 0 do
+        add_bit t ((v lsr i) land 1 = 1)
+      done
+    else begin
+      (* Byte-aligned fast path: emit whole bytes of [v] (msb first)
+         straddling at most two buffer bytes each, then finish the
+         remaining [width mod 8] bits bit-by-bit. [ensure] covers the
+         whole field up front, so the straddle byte is always in
+         bounds, and the trailing-zeros invariant lets us OR into the
+         current byte and overwrite the next. *)
+      ensure t width;
+      let bytes = t.bytes in
+      let w = ref width in
+      while !w >= 8 do
+        let b = (v lsr (!w - 8)) land 0xff in
+        let pos = t.len_bits in
+        let i = pos lsr 3 and o = pos land 7 in
+        if o = 0 then Bytes.unsafe_set bytes i (Char.unsafe_chr b)
+        else begin
+          let cur = Char.code (Bytes.unsafe_get bytes i) in
+          Bytes.unsafe_set bytes i (Char.unsafe_chr (cur lor (b lsr o)));
+          Bytes.unsafe_set bytes (i + 1)
+            (Char.unsafe_chr ((b lsl (8 - o)) land 0xff))
+        end;
+        t.len_bits <- pos + 8;
+        w := !w - 8
+      done;
+      for i = !w - 1 downto 0 do
+        add_bit t ((v lsr i) land 1 = 1)
+      done
+    end
 
   let add_gamma t v =
     if v < 0 then invalid_arg "Wire.Writer.add_gamma: negative";
     let v = v + 1 in
     let k = Repro_util.Ilog.floor_log2 v in
-    for _ = 1 to k do
-      add_bit t false
-    done;
+    add_zeros t k;
     add_fixed t v ~width:(k + 1)
 
   let contents t = Bytes.sub_string t.bytes 0 ((t.len_bits + 7) / 8)

@@ -19,11 +19,17 @@ module Writer : sig
 
   val add_fixed : t -> int -> width:int -> unit
   (** Write [width] bits of a non-negative value, most significant first.
+      Widths [>= 8] take a byte-aligned fast path (whole output bytes at
+      a time, bit-identical to writing through {!add_bit} — the QCheck
+      suite asserts this differentially).
       @raise Invalid_argument if the value does not fit or width is not
       in [\[0, 62\]]. *)
 
   val add_gamma : t -> int -> unit
-  (** Elias-gamma encode a value [>= 0] (internally shifted by one). *)
+  (** Elias-gamma encode a value [>= 0] (internally shifted by one). The
+      [⌊log₂(v+1)⌋] leading zeros are appended in O(1): the buffer is
+      zero-filled past the write position by construction, so emitting
+      zeros only advances the length. *)
 
   val contents : t -> string
   (** The encoded bits, zero-padded to whole bytes. *)

@@ -26,7 +26,7 @@ let committee_net ctx members =
     members;
     exchange =
       (fun out ->
-        List.map (fun (e : Net.envelope) -> (e.src, e.msg)) (Net.exchange ctx out));
+        Net.Inbox.pairs (Net.exchange ctx out));
   }
 
 let shared_coin seed phase =

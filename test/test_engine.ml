@@ -19,7 +19,7 @@ let test_same_round_delivery () =
      messages in the same round, sorted by src. *)
   let program ctx =
     let inbox = Net.broadcast ctx (M.Ping (Net.my_id ctx)) in
-    List.map (fun (e : Net.envelope) -> (e.src, e.msg)) inbox
+    Net.Inbox.pairs inbox
   in
   let res = Net.run ~ids:ids3 ~program () in
   List.iter
@@ -45,7 +45,7 @@ let test_point_to_point () =
     end
     else
       let inbox = Net.skip_round ctx in
-      List.length inbox
+      Net.Inbox.length inbox
   in
   let res = Net.run ~ids:ids3 ~program () in
   let outcome id = List.assoc id res.outcomes in
@@ -57,10 +57,10 @@ let test_crash_semantics () =
   (* Victim 20 crashes at round 1 (its second exchange): its round-0
      traffic flows, round-1 traffic is suppressed by the filter. *)
   let program ctx =
-    let a = Net.broadcast ctx (M.Ping 1) in
-    let b = Net.broadcast ctx (M.Ping 2) in
-    let c = Net.skip_round ctx in
-    (List.length a, List.length b, List.length c)
+    let a = Net.Inbox.length (Net.broadcast ctx (M.Ping 1)) in
+    let b = Net.Inbox.length (Net.broadcast ctx (M.Ping 2)) in
+    let c = Net.Inbox.length (Net.skip_round ctx) in
+    (a, b, c)
   in
   let crash obs =
     if obs.Net.obs_round = 1 then
@@ -83,7 +83,7 @@ let test_mid_send_partial_delivery () =
   (* Victim 10 crashes mid-send in round 0, delivering only to 20. *)
   let program ctx =
     let inbox = Net.broadcast ctx (M.Ping (Net.my_id ctx)) in
-    List.exists (fun (e : Net.envelope) -> e.src = 10) inbox
+    Net.Inbox.fold inbox ~init:false ~f:(fun acc ~src _ -> acc || src = 10)
   in
   let crash obs =
     if obs.Net.obs_round = 0 then
@@ -101,7 +101,7 @@ let test_byzantine_stamping () =
      true source (authentication). Byz traffic is costed separately. *)
   let program ctx =
     let inbox = Net.skip_round ctx in
-    List.map (fun (e : Net.envelope) -> e.src) inbox
+    List.map fst (Net.Inbox.pairs inbox)
   in
   let strategy ~byz_id ~round ~inbox:_ =
     if round = 0 then [ (10, M.Pong byz_id) ] else []
@@ -188,7 +188,9 @@ let test_recorded_trace_equality () =
       trace :=
         ( round,
           id,
-          List.map (fun (e : Net.envelope) -> (e.src, e.dst, e.msg)) inbox )
+          List.map
+            (fun (e : Net.envelope) -> (e.src, e.dst, e.msg))
+            (Net.Inbox.to_list inbox) )
         :: !trace
     in
     let program ctx =
@@ -280,11 +282,12 @@ let qcheck_fuzz =
             in
             sent := !sent + List.length out;
             let inbox = Net.exchange ctx out in
-            let srcs = List.map (fun (e : Net.envelope) -> e.src) inbox in
+            let srcs = List.map fst (Net.Inbox.pairs inbox) in
             if List.sort Int.compare srcs <> srcs then ok := false;
             if List.exists (fun (e : Net.envelope) -> e.dst <> Net.my_id ctx)
-                 inbox
-            then ok := false
+                 (Net.Inbox.to_list inbox)
+            then ok := false;
+            if List.length srcs <> Net.Inbox.length inbox then ok := false
           done;
           !ok
         in
@@ -305,6 +308,43 @@ let qcheck_fuzz =
       && res1.metrics.Metrics.honest_messages
          = res2.metrics.Metrics.honest_messages
       && res1.metrics.Metrics.rounds = rounds)
+
+(* The inbox view merges two streams (dedicated deliveries and the
+   round-global shared broadcasts); mixing broadcasters and unicasters
+   with interleaved identities must still yield one ascending-src
+   sequence with every message present. *)
+let test_mixed_streams_sorted () =
+  let ids = [| 1; 2; 3; 4; 5; 6 |] in
+  let program ctx =
+    let me = Net.my_id ctx in
+    let inbox =
+      if me mod 2 = 0 then Net.broadcast ctx (M.Ping me)
+      else
+        Net.exchange ctx
+          (Array.to_list ids |> List.map (fun dst -> (dst, M.Pong me)))
+    in
+    Net.Inbox.pairs inbox
+  in
+  let res = Net.run ~ids ~program () in
+  List.iter
+    (fun (id, outcome) ->
+      match outcome with
+      | Engine.Decided pairs ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "node %d merged ascending srcs" id)
+            [ 1; 2; 3; 4; 5; 6 ] (List.map fst pairs);
+          List.iter
+            (fun (src, msg) ->
+              let expect =
+                if src mod 2 = 0 then M.Ping src else M.Pong src
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "node %d payload from %d" id src)
+                true (msg = expect))
+            pairs
+      | _ -> Alcotest.fail "expected Decided")
+    res.outcomes;
+  Alcotest.(check int) "messages 6x6" 36 res.metrics.Metrics.honest_messages
 
 let suite =
   ( "engine",
@@ -327,5 +367,7 @@ let suite =
       Alcotest.test_case "node rngs differ" `Quick test_node_rngs_differ;
       Alcotest.test_case "per-round message counts" `Quick
         test_per_round_message_counts;
+      Alcotest.test_case "mixed streams sorted" `Quick
+        test_mixed_streams_sorted;
       QCheck_alcotest.to_alcotest qcheck_fuzz;
     ] )

@@ -263,6 +263,23 @@ let test_byz_trace_identical_under_randomized_hashing () =
   Alcotest.(check string) "byte-identical traces" trace1 trace2;
   Alcotest.(check (list (pair int int))) "identical assignments" asg1 asg2
 
+(* The delivery fast path's payload size-cache: a process-global cache
+   would be D4 under lib/sim, which is why engine.ml keys a per-run
+   array by dense sender slot instead. The fixture holds both shapes;
+   only the global may fire. *)
+let test_d4_size_cache () =
+  let source = read (fixture "d4_size_cache.ml") in
+  let findings, suppressed =
+    Lint.lint_string ~filename:"lib/sim/d4_size_cache.ml" source
+  in
+  Alcotest.(check int) "exactly the global cache fires" 1
+    (List.length findings);
+  Alcotest.(check (list string)) "and it is D4" [ "D4" ] (rules_of findings);
+  Alcotest.(check int) "nothing suppressed" 0 suppressed;
+  let findings, _ = Lint.lint_file (fixture "d4_size_cache.ml") in
+  Alcotest.(check int) "clean outside domain-shared dirs" 0
+    (List.length findings)
+
 let suite =
   ( "lint",
     [
@@ -270,6 +287,8 @@ let suite =
       Alcotest.test_case "D2 fixtures" `Quick test_d2;
       Alcotest.test_case "D3 fixtures" `Quick test_d3;
       Alcotest.test_case "D4 fixtures + path scoping" `Quick test_d4;
+      Alcotest.test_case "D4 size-cache route (engine fast path)" `Quick
+        test_d4_size_cache;
       Alcotest.test_case "D5 fixtures" `Quick test_d5;
       Alcotest.test_case "D1 path exemptions" `Quick test_d1_path_exemptions;
       Alcotest.test_case "parse error is E0" `Quick test_parse_error_is_e0;

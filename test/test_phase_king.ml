@@ -25,7 +25,7 @@ let committee_net ctx members =
     members;
     exchange =
       (fun out ->
-        List.map (fun (e : Net.envelope) -> (e.src, e.msg)) (Net.exchange ctx out));
+        Net.Inbox.pairs (Net.exchange ctx out));
   }
 
 type byz_kind = Silent | Equivocate | Random_lies

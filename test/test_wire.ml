@@ -52,6 +52,73 @@ let qcheck_gamma_roundtrip =
       let r = W.Reader.of_string (W.Writer.contents w) in
       W.Reader.read_gamma r = v && exact)
 
+(* The bit-by-bit definition of a fixed-width field, as [add_fixed]
+   wrote every width before the byte-aligned fast path existed. *)
+let add_fixed_ref w v ~width =
+  for i = width - 1 downto 0 do
+    W.Writer.add_bit w ((v lsr i) land 1 = 1)
+  done
+
+let qcheck_fixed_differential =
+  (* Differential test for the byte-aligned fast path: a random bit
+     prefix puts the write at every possible bit offset, then the same
+     field goes through [add_fixed] and the bit-by-bit reference; the
+     byte streams must match exactly. *)
+  let case =
+    QCheck.Gen.(
+      let* prefix = list_size (int_range 0 17) bool in
+      let* width = int_range 0 61 in
+      let* v = int_range 0 ((1 lsl width) - 1) in
+      return (prefix, v, width))
+  in
+  QCheck.Test.make ~name:"add_fixed fast path = bit-by-bit reference"
+    ~count:2000
+    (QCheck.make
+       ~print:(fun (prefix, v, width) ->
+         Printf.sprintf "prefix=%d bits, v=%d, width=%d" (List.length prefix)
+           v width)
+       case)
+    (fun (prefix, v, width) ->
+      let fast = W.Writer.create () and slow = W.Writer.create () in
+      List.iter (W.Writer.add_bit fast) prefix;
+      List.iter (W.Writer.add_bit slow) prefix;
+      W.Writer.add_fixed fast v ~width;
+      add_fixed_ref slow v ~width;
+      W.Writer.bit_length fast = W.Writer.bit_length slow
+      && String.equal (W.Writer.contents fast) (W.Writer.contents slow))
+
+let test_fixed_width62_boundary () =
+  (* width = 62 skips the fit check (any non-negative int fits); the
+     fast path must still roundtrip the extreme values. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "fixed %d/62" v)
+        v
+        (W.roundtrip_fixed v ~width:62))
+    [ 0; 1; max_int - 1; max_int ]
+
+let test_many_gammas () =
+  (* Regression for [Writer.ensure]'s growth policy: 10k gammas append
+     ~600k bits through the zero-run + byte-aligned paths; the buffer
+     must grow geometrically (one blit per growth) and the stream must
+     stay exact — length and every value. *)
+  let w = W.Writer.create () in
+  let value i = i * 7919 in
+  let expected_bits = ref 0 in
+  for i = 0 to 9_999 do
+    W.Writer.add_gamma w (value i);
+    expected_bits := !expected_bits + W.gamma_bits (value i)
+  done;
+  Alcotest.(check int) "exact stream length" !expected_bits
+    (W.Writer.bit_length w);
+  let r = W.Reader.of_string (W.Writer.contents w) in
+  for i = 0 to 9_999 do
+    Alcotest.(check int)
+      (Printf.sprintf "gamma #%d" i)
+      (value i) (W.Reader.read_gamma r)
+  done
+
 let qcheck_mixed_stream =
   (* Interleave fixed, gamma and single-bit writes and read them back. *)
   let op_gen =
@@ -94,6 +161,11 @@ let suite =
       Alcotest.test_case "fixed rejects bad values" `Quick test_fixed_rejects;
       Alcotest.test_case "gamma costs" `Quick test_gamma_values;
       Alcotest.test_case "reader exhaustion" `Quick test_out_of_bits;
+      Alcotest.test_case "fixed width-62 boundary" `Quick
+        test_fixed_width62_boundary;
+      Alcotest.test_case "10k gammas (growth regression)" `Quick
+        test_many_gammas;
       QCheck_alcotest.to_alcotest qcheck_gamma_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_fixed_differential;
       QCheck_alcotest.to_alcotest qcheck_mixed_stream;
     ] )
