@@ -11,16 +11,21 @@
      dune exec bench/engine_bench.exe -- --out F.json  # write JSON to F
      dune exec bench/engine_bench.exe -- --trace F     # + one traced run
      dune exec bench/engine_bench.exe -- --check-against BENCH_engine.json
-                                       # fail on >20% alloc regression
+                                       # fail on >20% alloc or >15% rps
+                                       # regression
 
    The JSON report (default BENCH_engine.json in the working directory)
    is a flat list of measurements; the committed BENCH_engine.json at
-   the repo root additionally keeps the pre-overhaul and pre-fast-path
-   numbers for comparison. [--check-against] compares each fresh
-   measurement's alloc_mwords_per_run against the committed row with
-   the same (path, n) and exits 1 if any regresses by more than
-   [--tolerance] (default 0.20): the CI guard that broadcast delivery
-   stays O(n), not O(n²), in allocations. *)
+   the repo root additionally keeps the pre-overhaul, pre-fast-path and
+   pre-flatten numbers for comparison. [--check-against] compares each
+   fresh measurement against the committed row with the same (path, n)
+   and exits 1 on a regression: alloc_mwords_per_run more than
+   [--tolerance] (default 0.20) above the committed value — the CI
+   guard that broadcast delivery stays O(n), not O(n²), in allocations —
+   or rounds_per_sec more than [--rps-tolerance] (default 0.15) below
+   it — the guard that the committee fast path stays fast. Throughput
+   on shared CI runners is noisy, so CI passes a wider
+   [--rps-tolerance] than the local default. *)
 
 module E = Repro_renaming.Experiment
 module Runner = Repro_renaming.Runner
@@ -97,11 +102,11 @@ let write_json ~out ~mode ms =
 (* Committed-baseline lookup for [--check-against]: whitespace-normalise
    the committed file (it is pretty-printed; this binary writes one row
    per line — both collapse to the same token stream), cut everything
-   from "pre_overhaul"/"pre_fastpath" on so only the current
+   from the first historical-lineage key on so only the current
    measurements are consulted, then scan for the fixed field order the
    writer guarantees. Not a JSON parser on purpose: the format is ours,
    and a scanner keeps the bench binary dependency-free. *)
-let committed_alloc ~file ~path ~n =
+let committed_field ~file ~path ~n ~key =
   let raw = In_channel.with_open_bin file In_channel.input_all in
   let b = Buffer.create (String.length raw) in
   String.iter
@@ -122,12 +127,15 @@ let committed_alloc ~file ~path ~n =
   let cut_at needle s =
     match find_sub s needle with Some i -> String.sub s 0 i | None -> s
   in
-  let s = cut_at "\"pre_overhaul\"" (cut_at "\"pre_fastpath\"" s) in
+  let s =
+    cut_at "\"pre_overhaul\""
+      (cut_at "\"pre_fastpath\"" (cut_at "\"pre_flatten\"" s))
+  in
   match find_sub s (Printf.sprintf "{\"path\":\"%s\",\"n\":%d," path n) with
   | None -> None
   | Some i -> (
       let rest = String.sub s i (String.length s - i) in
-      let key = "\"alloc_mwords_per_run\":" in
+      let key = "\"" ^ key ^ "\":" in
       match find_sub rest key with
       | None -> None
       | Some j ->
@@ -144,11 +152,11 @@ let committed_alloc ~file ~path ~n =
           done;
           float_of_string_opt (String.sub rest j (!k - j)))
 
-let check_against ~file ~tolerance ms =
+let check_against ~file ~tolerance ~rps_tolerance ms =
   let failures = ref 0 in
   List.iter
     (fun m ->
-      match committed_alloc ~file ~path:m.path ~n:m.n with
+      (match committed_field ~file ~path:m.path ~n:m.n ~key:"alloc_mwords_per_run" with
       | None ->
           Printf.printf "check: %-16s n=%-5d no committed baseline, skipped\n"
             m.path m.n
@@ -165,10 +173,27 @@ let check_against ~file ~tolerance ms =
             Printf.printf
               "check: %-16s n=%-5d ok    %.3f Mwords/run <= %.3f (committed \
                %.3f)\n"
-              m.path m.n m.alloc_mwords limit committed)
+              m.path m.n m.alloc_mwords limit committed);
+      match committed_field ~file ~path:m.path ~n:m.n ~key:"rounds_per_sec" with
+      | None -> ()
+      | Some committed ->
+          let floor = committed *. (1. -. rps_tolerance) in
+          if m.rounds_per_sec < floor then begin
+            incr failures;
+            Printf.printf
+              "check: %-16s n=%-5d FAIL  %.1f rounds/s < %.1f (committed \
+               %.1f -%.0f%%)\n"
+              m.path m.n m.rounds_per_sec floor committed
+              (100. *. rps_tolerance)
+          end
+          else
+            Printf.printf
+              "check: %-16s n=%-5d ok    %.1f rounds/s >= %.1f (committed \
+               %.1f)\n"
+              m.path m.n m.rounds_per_sec floor committed)
     ms;
   if !failures > 0 then begin
-    Printf.printf "check: %d allocation regression(s) vs %s\n" !failures file;
+    Printf.printf "check: %d regression(s) vs %s\n" !failures file;
     exit 1
   end
 
@@ -201,6 +226,7 @@ let () =
   let mode = ref `Full and out = ref "BENCH_engine.json" in
   let trace = ref None in
   let check = ref None and tolerance = ref 0.20 in
+  let rps_tolerance = ref 0.15 in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
@@ -208,6 +234,9 @@ let () =
         parse rest
     | "--smoke-large" :: rest ->
         mode := `Smoke_large;
+        parse rest
+    | "--smoke-xl" :: rest ->
+        mode := `Smoke_xl;
         parse rest
     | "--out" :: f :: rest ->
         out := f;
@@ -221,6 +250,9 @@ let () =
     | "--tolerance" :: t :: rest ->
         tolerance := float_of_string t;
         parse rest
+    | "--rps-tolerance" :: t :: rest ->
+        rps_tolerance := float_of_string t;
+        parse rest
     | a :: _ -> invalid_arg ("engine_bench: unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -233,6 +265,7 @@ let () =
     match !mode with
     | `Smoke -> [ (64, 3, both) ]
     | `Smoke_large -> [ (1024, 1, [ "no-fault" ]) ]
+    | `Smoke_xl -> [ (8192, 1, [ "no-fault" ]) ]
     | `Full ->
         [
           (128, 8, both);
@@ -241,6 +274,8 @@ let () =
           (1024, 2, both);
           (2048, 1, both);
           (4096, 1, [ "no-fault" ]);
+          (8192, 1, [ "no-fault" ]);
+          (16384, 1, [ "no-fault" ]);
         ]
   in
   let ms =
@@ -261,12 +296,15 @@ let () =
     match !mode with
     | `Smoke -> "smoke"
     | `Smoke_large -> "smoke-large"
+    | `Smoke_xl -> "smoke-xl"
     | `Full -> "full"
   in
   write_json ~out:!out ~mode:mode_name ms;
   Printf.printf "wrote %s\n" !out;
   (match !check with
-  | Some file -> check_against ~file ~tolerance:!tolerance ms
+  | Some file ->
+      check_against ~file ~tolerance:!tolerance
+        ~rps_tolerance:!rps_tolerance ms
   | None -> ());
   match !trace with
   | Some file ->

@@ -1,0 +1,51 @@
+(* Committee-path ablation probe: times one (n, path, adversary) point
+   in isolation, unlike engine_bench's sweep where earlier configs'
+   heap state bleeds into later points. Used to attribute sweep-level
+   differences to the committee path itself.
+
+   Usage: dune exec bench/path_probe.exe -- <n> <inc|rebuild|scan>
+            <no-fault|killer> *)
+
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+module CR = Repro_renaming.Crash_renaming
+
+let () =
+  Repro_renaming.Parallel.tune_gc ();
+  let usage () =
+    prerr_endline
+      "usage: path_probe <n> <inc|rebuild|scan> <no-fault|killer>";
+    exit 2
+  in
+  if Array.length Sys.argv <> 4 then usage ();
+  let n = int_of_string Sys.argv.(1) in
+  let path =
+    match Sys.argv.(2) with
+    | "inc" -> CR.Incremental
+    | "rebuild" -> CR.Rebuild_each_round
+    | "scan" -> CR.Linear_scan
+    | _ -> usage ()
+  in
+  let adversary =
+    match Sys.argv.(3) with
+    | "no-fault" -> E.No_crash
+    | "killer" -> E.Committee_killer (n / 4)
+    | _ -> usage ()
+  in
+  let run seed =
+    E.run_crash ~committee_path:path ~protocol:E.This_work_crash ~n
+      ~namespace:(64 * n) ~adversary ~seed ()
+  in
+  let warm = run 41 in
+  if not warm.Runner.correct then failwith "path_probe: incorrect run";
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let rounds = ref 0 in
+  for i = 1 to 2 do
+    let a = run (41 + i) in
+    rounds := !rounds + a.Runner.rounds
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-8s %-8s n=%-6d %8.1f rounds/s\n" Sys.argv.(2)
+    Sys.argv.(3) n
+    (float_of_int !rounds /. dt)

@@ -501,12 +501,18 @@ let program ?telemetry params ctx =
         telemetry;
       let in_dirty i = List.exists (fun dj -> Interval.contains dj i) dirty in
       (* Stage 3: distribute new identities (rank in the reconciled
-         list); null for identities inside my dirty intervals. *)
+         list); null for identities inside my dirty intervals.
+         [announced] ascends (sort_uniq above), so the ranks are one
+         cumulative word-parallel popcount walk over [l] — O(N/w + n)
+         for the whole stage instead of O(n·N/w) repeated rank scans. *)
+      let prev = ref 0 and acc = ref 0 in
       let out =
         List.map
           (fun u ->
+            acc := !acc + Bitvec.count l (Interval.make (!prev + 1) u);
+            prev := u;
             if in_dirty u then (u, Msg.New None)
-            else (u, Msg.New (Some (Bitvec.rank l u))))
+            else (u, Msg.New (Some !acc)))
           announced
       in
       Net.exchange ctx out

@@ -46,6 +46,29 @@ type reelection_policy =
       (** ablation: additionally retry the election coin every phase —
           the committee (and message bill) grows monotonically *)
 
+(** Which implementation a committee member answers status reports with.
+    All three are observation-equivalent on honest inboxes — byte-identical
+    verdicts, sizes and emission order (pinned by the metamorphic suite in
+    [test/test_committee_paths.ml]); they differ only in cost. *)
+type committee_path =
+  | Incremental
+      (** the flattened fast path: struct-of-arrays status store over
+          dense slot indices, [Bitvec] word-parallel group membership,
+          verdict groups maintained incrementally across phases, message
+          sizes from precomputed per-slot tables. Falls back to
+          [Linear_scan] (with the persistent state dropped) on any inbox
+          that violates its preconditions — id ≠ source, duplicate or
+          unknown sources, out-of-range depths, overlapping
+          minimum-depth intervals. *)
+  | Rebuild_each_round
+      (** ablation: the same flattened machinery, persistent state wiped
+          before every absorb — isolates what the incremental delta
+          maintenance buys. *)
+  | Linear_scan
+      (** the order-insensitive reference path: per-round group
+          collection with per-group sorted id arrays, every status
+          tested against every group. *)
+
 type params = {
   election_constant : float;
       (** the paper's 256 in [(256 · 2^p · log n) / n]; the asymptotic
@@ -58,14 +81,17 @@ type params = {
           [`Loose m] with [m >= n] renames into [\[1, m\]] — Definition
           1.1's general target namespace, obtained by rooting the halving
           tree at [\[1, m\]] *)
+  committee_path : committee_path;
 }
 
 val paper_params : params
-(** [{election_constant = 256.; phase_factor = 3; reelection = On_demand}] *)
+(** [{election_constant = 256.; phase_factor = 3; reelection = On_demand;
+     committee_path = Incremental}] *)
 
 val experiment_params : params
-(** [{election_constant = 3.; phase_factor = 3; reelection = On_demand}] —
-    small committees at benchmark scale; used by the evaluation harness. *)
+(** [{election_constant = 3.; phase_factor = 3; reelection = On_demand;
+     committee_path = Incremental}] — small committees at benchmark
+    scale; used by the evaluation harness. *)
 
 val phases : params -> n:int -> int
 val election_probability : params -> n:int -> p:int -> float
@@ -105,3 +131,31 @@ val run :
     [on_*] observability hooks are passed straight through (see
     [Engine.run] for their contracts — [Experiment] wires them to a
     [Repro_obs.Trace] recorder). *)
+
+(** Test-only seams into the committee internals. *)
+module For_tests : sig
+  val committee_verdicts :
+    path:committee_path ->
+    pv:int ->
+    ids:int array ->
+    (int * Msg.t) list list ->
+    (int * Msg.t * int) list list
+  (** Drive one committee member through a sequence of round inboxes
+      (given as [(src, msg)] pairs, fabricated without engine checks)
+      and return each round's verdicts as [(dst, msg, billed_bits)]
+      triples. [ids] is the participant set (the member's slot
+      universe); [pv] seeds the member's escalation counter. For
+      [Incremental] the flattened state persists across the listed
+      rounds; rounds whose inbox trips a fast-path precondition are
+      answered by the scan fallback, exactly as in a live run. *)
+
+  val state_pv :
+    path:committee_path ->
+    pv:int ->
+    ids:int array ->
+    (int * Msg.t) list list ->
+    int
+  (** The member's escalation counter after absorbing the rounds —
+      pins that the fast path's p-adoption matches the scan's. *)
+end
+

@@ -21,6 +21,7 @@ type crash_adversary =
   | Committee_killer of int
   | Committee_killer_partial of int
   | Patient_killer of int
+  | Scripted_crashes of (int * int * [ `All | `Nothing | `Subset of int ]) list
 
 type byz_adversary =
   | No_byz
@@ -42,6 +43,7 @@ let crash_adversary_f = function
   | Random_crashes f | Committee_killer f | Committee_killer_partial f
   | Patient_killer f ->
       f
+  | Scripted_crashes orders -> List.length orders
 
 let byz_adversary_f = function
   | No_byz -> 0
@@ -58,7 +60,8 @@ let trace_hooks trace =
     Option.map (fun t ~round ~id -> Trace.on_decide t ~round ~id) trace,
     Option.map (fun t ~round m -> Trace.on_round_end t ~round m) trace )
 
-let run_crash ?trace ~protocol ~n ~namespace ~adversary ~seed () =
+let run_crash ?trace ?committee_path ~protocol ~n ~namespace ~adversary ~seed
+    () =
   let ids = random_ids ~seed:(seed lxor 0x1d5) ~namespace ~n in
   let rng = Rng.of_seed (seed lxor 0xadce5) in
   let on_crash, on_decide, on_round_end = trace_hooks trace in
@@ -76,6 +79,9 @@ let run_crash ?trace ~protocol ~n ~namespace ~adversary ~seed () =
       rng:Rng.t -> budget:int -> ?partial:bool -> unit -> adv
 
     val patient_killer : budget:int -> unit -> adv
+
+    val scripted :
+      (int * int * [ `All | `Nothing | `Subset of int ]) list -> adv
   end) =
   struct
     let make = function
@@ -85,6 +91,7 @@ let run_crash ?trace ~protocol ~n ~namespace ~adversary ~seed () =
       | Committee_killer_partial f ->
           C.committee_killer ~rng ~budget:f ~partial:true ()
       | Patient_killer f -> C.patient_killer ~budget:f ()
+      | Scripted_crashes orders -> C.scripted orders
   end
   in
   let res =
@@ -101,8 +108,14 @@ let run_crash ?trace ~protocol ~n ~namespace ~adversary ~seed () =
               Trace.on_message t ~bits:(Crash_renaming.Msg.bits e.msg))
             trace
         in
-        Crash_renaming.run ~ids ~crash:(A.make adversary) ?tap ?on_crash
-          ?on_decide ?on_round_end ~seed ()
+        let params =
+          match committee_path with
+          | None -> Crash_renaming.experiment_params
+          | Some committee_path ->
+              { Crash_renaming.experiment_params with committee_path }
+        in
+        Crash_renaming.run ~params ~ids ~crash:(A.make adversary) ?tap
+          ?on_crash ?on_decide ?on_round_end ~seed ()
     | Halving_baseline ->
         let module A = Adversary (struct
           type adv = Halving_renaming.Net.crash_adversary
@@ -115,8 +128,8 @@ let run_crash ?trace ~protocol ~n ~namespace ~adversary ~seed () =
               Trace.on_message t ~bits:(Halving_renaming.Msg.bits e.msg))
             trace
         in
-        Halving_renaming.run ~ids ~crash:(A.make adversary) ?tap ?on_crash
-          ?on_decide ?on_round_end ~seed ()
+        Halving_renaming.run ?committee_path ~ids ~crash:(A.make adversary)
+          ?tap ?on_crash ?on_decide ?on_round_end ~seed ()
     | Flooding_baseline ->
         let module A = Adversary (struct
           type adv = Flooding_renaming.Net.crash_adversary

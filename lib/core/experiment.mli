@@ -24,6 +24,11 @@ type crash_adversary =
   | Committee_killer_partial of int  (** same, with mid-send splits *)
   | Patient_killer of int
       (** message-maximising: kill each committee after one served phase *)
+  | Scripted_crashes of (int * int * [ `All | `Nothing | `Subset of int ]) list
+      (** fully explicit [(round, victim, delivery)] schedule, replayed
+          through [Engine.Crash.scripted] — the deterministic injection
+          point for corpus schedules ([Repro_check.Schedule]) outside the
+          fuzzer harness *)
 
 type byz_adversary =
   | No_byz
@@ -38,6 +43,7 @@ val byz_adversary_f : byz_adversary -> int
 
 val run_crash :
   ?trace:Repro_obs.Trace.t ->
+  ?committee_path:Crash_renaming.committee_path ->
   protocol:crash_protocol ->
   n:int ->
   namespace:int ->
@@ -47,7 +53,11 @@ val run_crash :
   Runner.assessment
 (** One execution. The flooding baseline is given the adversary's true
     [f] (it runs [f+1] rounds) — the most favourable configuration for
-    the baseline.
+    the baseline. [committee_path] overrides the committee
+    implementation of the two committee-based protocols (default:
+    {!Crash_renaming.experiment_params}' [Incremental]); the flooding
+    baseline has no committee and ignores it. For [Scripted_crashes]
+    the reported [f] is the schedule length.
 
     When [trace] is given, the run is recorded into it — per-round rows
     via the engine hooks, the on-wire size histogram via [tap] — and

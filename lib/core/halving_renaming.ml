@@ -9,10 +9,17 @@ let params =
     phase_factor = 3;
     reelection = Crash_renaming.On_demand;
     target = `Strong;
+    committee_path = Crash_renaming.Incremental;
   }
 
 let program ctx = Crash_renaming.program params ctx
 
-let run ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed ~ids () =
+let run ?committee_path ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
+    ~ids () =
+  let params =
+    match committee_path with
+    | None -> params
+    | Some committee_path -> { params with Crash_renaming.committee_path }
+  in
   Crash_renaming.run ~params ?crash ?tap ?on_crash ?on_decide ?on_round_end
     ?seed ~ids ()

@@ -25,6 +25,7 @@ val params : Crash_renaming.params
 
 val program : Net.ctx -> int
 val run :
+  ?committee_path:Crash_renaming.committee_path ->
   ?crash:Net.crash_adversary ->
   ?tap:(round:int -> Net.envelope -> unit) ->
   ?on_crash:(round:int -> id:int -> unit) ->

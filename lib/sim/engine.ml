@@ -170,6 +170,21 @@ module Make (M : MSG) = struct
     let to_list t =
       fold_rev t ~init:[] ~f:(fun acc ~src msg ->
           { src; dst = t.ib_dst; msg } :: acc)
+
+    (* Test seam: fabricate a free-standing inbox view from explicit
+       [(src, msg)] pairs, bypassing the engine (and its ascending-src
+       delivery invariant — "unchecked"). Lets fixture tests drive
+       inbox consumers with malformed traffic no honest run produces. *)
+    let of_pairs_unchecked ~dst pairs =
+      {
+        ib_dst = dst;
+        d_src = Array.of_list (List.map fst pairs);
+        d_msg = Array.of_list (List.map snd pairs);
+        d_len = List.length pairs;
+        s_src = [||];
+        s_msg = [||];
+        s_len = 0;
+      }
   end
 
   type ctx = {
@@ -193,6 +208,17 @@ module Make (M : MSG) = struct
     | Unicast of (int * M.t) list
     | Multisend of int list * M.t
     | Broadcast of M.t
+    | Sized of {
+        dsts : int array;
+        msgs : M.t array;
+        sizes : int array;
+        len : int;
+      }
+        (* Pre-sized unicast batch: the sender has already computed each
+           message's wire size (contract: [sizes.(k) = M.bits msgs.(k)]),
+           so billing is an array read instead of a re-encode. The arrays
+           belong to the sender and are only read before the continuation
+           resumes, so they may be reused across rounds. *)
 
   type _ Effect.t += Exchange : outbox -> inbox Effect.t
 
@@ -200,6 +226,15 @@ module Make (M : MSG) = struct
   let multisend _ctx ~dsts m = Effect.perform (Exchange (Multisend (dsts, m)))
   let broadcast _ctx m = Effect.perform (Exchange (Broadcast m))
   let skip_round _ctx = Effect.perform (Exchange (Unicast []))
+
+  let exchange_sized _ctx ~dsts ~msgs ~sizes ~len =
+    if
+      len < 0
+      || len > Array.length dsts
+      || len > Array.length msgs
+      || len > Array.length sizes
+    then invalid_arg "Engine.exchange_sized: batch length out of bounds";
+    Effect.perform (Exchange (Sized { dsts; msgs; sizes; len }))
 
   type observation = {
     obs_round : int;
@@ -435,6 +470,8 @@ module Make (M : MSG) = struct
       | Multisend (dsts, m) -> List.map (fun dst -> { src; dst; msg = m }) dsts
       | Broadcast m ->
           Array.to_list (Array.map (fun dst -> { src; dst; msg = m }) ids)
+      | Sized { dsts; msgs; len; _ } ->
+          List.init len (fun k -> { src; dst = dsts.(k); msg = msgs.(k) })
     in
     (* Wire tap: observes every envelope handed to the network this
        round (post crash-filter), including those addressed to finished
@@ -616,7 +653,15 @@ module Make (M : MSG) = struct
                                   ~bits:
                                     (if e.msg == m0 then b0 else M.bits e.msg);
                                 deliver_honest_env e)
-                              envs))
+                              envs)
+                    | Sized { sizes; _ } ->
+                        (* [envs] was materialized from the batch in
+                           index order, so sizes line up positionally. *)
+                        List.iteri
+                          (fun k (e : envelope) ->
+                            Metrics.add_honest metrics ~bits:sizes.(k);
+                            deliver_honest_env e)
+                          envs)
                 | None -> (
                     let src = ids.(s) in
                     match out with
@@ -646,7 +691,15 @@ module Make (M : MSG) = struct
                             Metrics.add_honest metrics
                               ~bits:(if msg == m0 then b0 else M.bits msg);
                             deliver_honest src dst msg)
-                          l))
+                          l
+                    | Sized { dsts; msgs; sizes; len } ->
+                        for k = 0 to len - 1 do
+                          Metrics.add_honest metrics
+                            ~bits:(Array.unsafe_get sizes k);
+                          deliver_honest src
+                            (Array.unsafe_get dsts k)
+                            (Array.unsafe_get msgs k)
+                        done))
             | Dead _ when pre_envs.(s) <> None ->
                 let envs = Option.get pre_envs.(s) in
                 pre_envs.(s) <- None;

@@ -107,6 +107,14 @@ module Make (M : MSG) : sig
     (** Materialize as envelopes addressed to this node (ascending
         [src]); allocates. The compatibility escape hatch for consumers
         that need the old representation. *)
+
+    val of_pairs_unchecked : dst:int -> (int * M.t) list -> t
+    (** Fabricate a free-standing inbox view from explicit [(src, msg)]
+        pairs, bypassing the engine. "Unchecked": the engine's
+        ascending-[src] delivery invariant is {e not} enforced, which is
+        the point — fixture tests use this to feed inbox consumers
+        malformed traffic no honest run produces. Not for use inside
+        node programs. *)
   end
 
   val my_id : ctx -> int
@@ -147,6 +155,27 @@ module Make (M : MSG) : sig
 
   val skip_round : ctx -> inbox
   (** Send nothing this round, still observing the round barrier. *)
+
+  val exchange_sized :
+    ctx ->
+    dsts:int array ->
+    msgs:M.t array ->
+    sizes:int array ->
+    len:int ->
+    inbox
+  (** [exchange_sized ctx ~dsts ~msgs ~sizes ~len] behaves like
+      {!exchange} of the first [len] [(dsts.(k), msgs.(k))] pairs, but
+      the sender supplies each message's wire size up front: the engine
+      bills [sizes.(k)] bits without re-encoding.
+
+      {b Contract:} [sizes.(k)] must equal [M.bits msgs.(k)] — fallback
+      delivery paths (crash observation, mid-send victims) may recompute
+      sizes via [M.bits], and the byte-identity guarantees between fast
+      and fallback delivery hold only under that equality. The arrays
+      belong to the caller and are read before the call returns, so a
+      node may reuse them across rounds. The verdict rounds of the
+      renaming committees are this shape: sizes come from precomputed
+      per-slot tables, making billing O(1) per verdict. *)
 
   (** {1 Adversaries} *)
 

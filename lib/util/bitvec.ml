@@ -1,11 +1,25 @@
-type t = { len : int; data : Bytes.t }
+(* Word-parallel bit vectors: 63 bits per native [int] word.
+
+   Positions are 1-based (paper convention); position [pos] lives at bit
+   [(pos - 1) mod 63] of word [(pos - 1) / 63].  Bit 62 of a word is the
+   sign bit of the native int — words are treated as opaque bags of 63
+   bits and only combined with [land]/[lor]/[lsr]/[lsl], all of which
+   are well-defined on negative ints in OCaml.
+
+   Invariant: bits at positions > [len] inside the last word are always
+   zero ([set] range-checks), so whole-word popcounts never over-count. *)
+
+type t = { len : int; words : int array }
+
+let bpw = 63
 
 let create len =
   if len < 0 then invalid_arg "Bitvec.create";
-  { len; data = Bytes.make ((len + 7) / 8) '\000' }
+  { len; words = Array.make ((len + bpw - 1) / bpw) 0 }
 
 let length t = t.len
-let copy t = { len = t.len; data = Bytes.copy t.data }
+let copy t = { len = t.len; words = Array.copy t.words }
+let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
 
 let check t pos =
   if pos < 1 || pos > t.len then invalid_arg "Bitvec: position out of range"
@@ -13,78 +27,209 @@ let check t pos =
 let get t pos =
   check t pos;
   let i = pos - 1 in
-  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Array.unsafe_get t.words (i / bpw) land (1 lsl (i mod bpw)) <> 0
 
 let set t pos v =
   check t pos;
   let i = pos - 1 in
-  let byte = Char.code (Bytes.get t.data (i lsr 3)) in
-  let mask = 1 lsl (i land 7) in
-  let byte = if v then byte lor mask else byte land lnot mask in
-  Bytes.set t.data (i lsr 3) (Char.chr byte)
+  let w = i / bpw and b = i mod bpw in
+  let cur = Array.unsafe_get t.words w in
+  Array.unsafe_set t.words w
+    (if v then cur lor (1 lsl b) else cur land lnot (1 lsl b))
+
+(* SWAR popcount in two 32-bit halves: the usual 64-bit masks do not fit
+   OCaml's 63-bit int literals, the 32-bit ones do. *)
+let popcount x =
+  let pc32 v =
+    let v = v - ((v lsr 1) land 0x5555_5555) in
+    let v = (v land 0x3333_3333) + ((v lsr 2) land 0x3333_3333) in
+    let v = (v + (v lsr 4)) land 0x0f0f_0f0f in
+    (v * 0x0101_0101) lsr 24 land 0xff
+  in
+  pc32 (x land 0xffff_ffff) + pc32 (x lsr 32)
+
+(* Index of the lowest set bit; [x] must be non-zero. *)
+let ntz x =
+  let b = ref (x land -x) and n = ref 0 in
+  if !b land 0xffff_ffff = 0 then begin
+    n := !n + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xffff = 0 then begin
+    n := !n + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xff = 0 then begin
+    n := !n + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xf = 0 then begin
+    n := !n + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    n := !n + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+(* Bits [0..b] of a word; [-1] covers all 63 bits. *)
+let mask_upto b = if b >= bpw - 1 then -1 else (1 lsl (b + 1)) - 1
+
+(* Bits [b..62] of a word. *)
+let mask_from b = -1 lsl b
 
 let count t (seg : Interval.t) =
   check t seg.lo;
   check t seg.hi;
-  let acc = ref 0 in
-  for pos = seg.lo to seg.hi do
-    if get t pos then incr acc
-  done;
-  !acc
+  let i0 = (seg.lo - 1) / bpw and b0 = (seg.lo - 1) mod bpw in
+  let i1 = (seg.hi - 1) / bpw and b1 = (seg.hi - 1) mod bpw in
+  if i0 = i1 then
+    popcount (Array.unsafe_get t.words i0 land mask_from b0 land mask_upto b1)
+  else begin
+    let acc = ref (popcount (Array.unsafe_get t.words i0 land mask_from b0)) in
+    for w = i0 + 1 to i1 - 1 do
+      acc := !acc + popcount (Array.unsafe_get t.words w)
+    done;
+    !acc + popcount (Array.unsafe_get t.words i1 land mask_upto b1)
+  end
 
-let count_all t = if t.len = 0 then 0 else count t (Interval.full t.len)
+let count_all t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
 let rank t i =
   check t i;
-  count t (Interval.make 1 i)
+  let i1 = (i - 1) / bpw and b1 = (i - 1) mod bpw in
+  let acc = ref 0 in
+  for w = 0 to i1 - 1 do
+    acc := !acc + popcount (Array.unsafe_get t.words w)
+  done;
+  !acc + popcount (Array.unsafe_get t.words i1 land mask_upto b1)
 
 let select t k =
   if k <= 0 then None
-  else
-    let rec go pos seen =
-      if pos > t.len then None
+  else begin
+    let nw = Array.length t.words in
+    let rec word w seen =
+      if w >= nw then None
       else
-        let seen = if get t pos then seen + 1 else seen in
-        if seen = k then Some pos else go (pos + 1) seen
+        let x = Array.unsafe_get t.words w in
+        let c = popcount x in
+        if seen + c < k then word (w + 1) (seen + c)
+        else
+          let rec bit x seen =
+            let pos = (w * bpw) + ntz x + 1 in
+            if seen + 1 = k then Some pos else bit (x land (x - 1)) (seen + 1)
+          in
+          bit x seen
     in
-    go 1 0
+    word 0 0
+  end
 
-let ones_in t (seg : Interval.t) =
+let first_set t (seg : Interval.t) =
   check t seg.lo;
   check t seg.hi;
-  let rec go pos acc =
-    if pos < seg.lo then acc
-    else go (pos - 1) (if get t pos then pos :: acc else acc)
+  let i0 = (seg.lo - 1) / bpw and b0 = (seg.lo - 1) mod bpw in
+  let i1 = (seg.hi - 1) / bpw and b1 = (seg.hi - 1) mod bpw in
+  let masked w =
+    let x = Array.unsafe_get t.words w in
+    let x = if w = i0 then x land mask_from b0 else x in
+    if w = i1 then x land mask_upto b1 else x
   in
-  go seg.hi []
+  let rec go w =
+    if w > i1 then None
+    else
+      let x = masked w in
+      if x <> 0 then Some ((w * bpw) + ntz x + 1) else go (w + 1)
+  in
+  go i0
+
+let iter_set t (seg : Interval.t) ~f =
+  check t seg.lo;
+  check t seg.hi;
+  let i0 = (seg.lo - 1) / bpw and b0 = (seg.lo - 1) mod bpw in
+  let i1 = (seg.hi - 1) / bpw and b1 = (seg.hi - 1) mod bpw in
+  for w = i0 to i1 do
+    let x = Array.unsafe_get t.words w in
+    let x = if w = i0 then x land mask_from b0 else x in
+    let x = if w = i1 then x land mask_upto b1 else x in
+    let x = ref x in
+    let base = w * bpw in
+    while !x <> 0 do
+      f (base + ntz !x + 1);
+      x := !x land (!x - 1)
+    done
+  done
+
+let iter_diff a b ~f =
+  if a.len <> b.len then invalid_arg "Bitvec.iter_diff: length mismatch";
+  for w = 0 to Array.length a.words - 1 do
+    let x =
+      ref (Array.unsafe_get a.words w land lnot (Array.unsafe_get b.words w))
+    in
+    let base = w * bpw in
+    while !x <> 0 do
+      f (base + ntz !x + 1);
+      x := !x land (!x - 1)
+    done
+  done
+
+let ones_in t (seg : Interval.t) =
+  let acc = ref [] in
+  iter_set t seg ~f:(fun pos -> acc := pos :: !acc);
+  List.rev !acc
 
 let equal_segment a b (seg : Interval.t) =
   check a seg.lo;
   check a seg.hi;
   check b seg.lo;
   check b seg.hi;
-  let rec go pos =
-    if pos > seg.hi then true
-    else if Bool.equal (get a pos) (get b pos) then go (pos + 1)
-    else false
+  let i0 = (seg.lo - 1) / bpw and b0 = (seg.lo - 1) mod bpw in
+  let i1 = (seg.hi - 1) / bpw and b1 = (seg.hi - 1) mod bpw in
+  let rec go w =
+    if w > i1 then true
+    else
+      let m =
+        (if w = i0 then mask_from b0 else -1)
+        land if w = i1 then mask_upto b1 else -1
+      in
+      Array.unsafe_get a.words w land m = Array.unsafe_get b.words w land m
+      && go (w + 1)
   in
-  go seg.lo
+  go i0
+
+(* Word-parallel [dst.(seg) <- x] for a constant bit [x], used by blit
+   and fill below.  Masks follow the same first/last-word split as
+   [count]. *)
+let apply_masked dst (seg : Interval.t) ~f =
+  let i0 = (seg.lo - 1) / bpw and b0 = (seg.lo - 1) mod bpw in
+  let i1 = (seg.hi - 1) / bpw and b1 = (seg.hi - 1) mod bpw in
+  for w = i0 to i1 do
+    let m =
+      (if w = i0 then mask_from b0 else -1)
+      land if w = i1 then mask_upto b1 else -1
+    in
+    Array.unsafe_set dst.words w (f w m (Array.unsafe_get dst.words w))
+  done
 
 let blit_segment ~src ~dst (seg : Interval.t) =
   check src seg.lo;
   check src seg.hi;
   check dst seg.lo;
   check dst seg.hi;
-  for pos = seg.lo to seg.hi do
-    set dst pos (get src pos)
-  done
+  apply_masked dst seg ~f:(fun w m cur ->
+      cur land lnot m lor (Array.unsafe_get src.words w land m))
 
 let fill_segment_with_ones t (seg : Interval.t) k =
   if k < 0 || k > Interval.size seg then
     invalid_arg "Bitvec.fill_segment_with_ones";
-  for pos = seg.lo to seg.hi do
-    set t pos (pos - seg.lo < k)
-  done
+  check t seg.lo;
+  check t seg.hi;
+  apply_masked t seg ~f:(fun _ m cur -> cur land lnot m);
+  if k > 0 then
+    apply_masked t
+      (Interval.make seg.lo (seg.lo + k - 1))
+      ~f:(fun _ m cur -> cur lor m)
 
 let segment_bytes t (seg : Interval.t) =
   check t seg.lo;

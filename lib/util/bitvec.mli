@@ -16,8 +16,11 @@ val get : t -> int -> bool
 val set : t -> int -> bool -> unit
 (** Positions are 1-based; out-of-range access raises [Invalid_argument]. *)
 
+val clear_all : t -> unit
+(** Reset every position to zero (word-parallel; for buffer reuse). *)
+
 val count : t -> Interval.t -> int
-(** Number of ones within the segment. *)
+(** Number of ones within the segment (word-parallel range popcount). *)
 
 val count_all : t -> int
 
@@ -28,6 +31,19 @@ val rank : t -> int -> int
 
 val select : t -> int -> int option
 (** [select t k] is the position of the [k]-th one (1-based), if any. *)
+
+val first_set : t -> Interval.t -> int option
+(** Position of the lowest one within the segment, if any (word-parallel:
+    scans whole words, then isolates the lowest set bit). *)
+
+val iter_set : t -> Interval.t -> f:(int -> unit) -> unit
+(** Apply [f] to every one-position within the segment, ascending.
+    Word-parallel: zero words are skipped in one step. *)
+
+val iter_diff : t -> t -> f:(int -> unit) -> unit
+(** [iter_diff a b ~f] applies [f], ascending, to every position set in
+    [a] but not in [b]. The vectors must have equal length.
+    @raise Invalid_argument on length mismatch. *)
 
 val ones_in : t -> Interval.t -> int list
 (** Positions of ones within the segment, ascending. *)

@@ -100,12 +100,134 @@ let qcheck_fold =
            collected
            (List.init (span + 1) (fun k -> lo + k)))
 
+(* Differential tests for the word-parallel primitives: every operation
+   is re-implemented bit-by-bit over a bool-array reference and compared
+   on vectors whose lengths straddle the 63-bit word boundary (the
+   masking in the first/mid/last word of a range is where a SWAR bug
+   would hide). *)
+
+let boundary_lengths = [ 1; 2; 62; 63; 64; 126; 127; 130 ]
+
+let vec_gen =
+  QCheck.Gen.(
+    let* len = oneofl boundary_lengths in
+    let* bits = list_size (int_range 0 (2 * len)) (int_range 1 len) in
+    let* lo = int_range 1 len in
+    let* hi = int_range lo len in
+    return (len, bits, lo, hi))
+
+let vec_print (len, bits, lo, hi) =
+  Printf.sprintf "len=%d seg=[%d,%d] bits=[%s]" len lo hi
+    (String.concat ";" (List.map string_of_int bits))
+
+let build (len, bits) =
+  let v = B.create len in
+  let model = Array.make (len + 1) false in
+  List.iter
+    (fun i ->
+      B.set v i true;
+      model.(i) <- true)
+    bits;
+  (v, model)
+
+let model_ones model lo hi =
+  List.filter (fun i -> model.(i)) (List.init (hi - lo + 1) (fun k -> lo + k))
+
+let qcheck_range_ops =
+  QCheck.Test.make ~name:"count/first_set/iter_set vs bit-by-bit reference"
+    ~count:500
+    (QCheck.make ~print:vec_print vec_gen)
+    (fun (len, bits, lo, hi) ->
+      let v, model = build (len, bits) in
+      let seg = I.make lo hi in
+      let ones = model_ones model lo hi in
+      B.count v seg = List.length ones
+      && B.first_set v seg
+         = (match ones with [] -> None | p :: _ -> Some p)
+      && B.ones_in v seg = ones
+      &&
+      let collected = ref [] in
+      B.iter_set v seg ~f:(fun p -> collected := p :: !collected);
+      List.rev !collected = ones)
+
+let qcheck_rank_select =
+  QCheck.Test.make ~name:"rank/select vs bit-by-bit reference" ~count:500
+    (QCheck.make ~print:vec_print vec_gen)
+    (fun (len, bits, pos, _) ->
+      let v, model = build (len, bits) in
+      let all = model_ones model 1 len in
+      B.rank v pos = List.length (model_ones model 1 pos)
+      && B.count_all v = List.length all
+      && List.for_all
+           (fun k -> B.select v (k + 1) = List.nth_opt all k)
+           (List.init (List.length all + 2) Fun.id))
+
+let diff_gen =
+  QCheck.Gen.(
+    let* len = oneofl boundary_lengths in
+    let* bits_a = list_size (int_range 0 len) (int_range 1 len) in
+    let* bits_b = list_size (int_range 0 len) (int_range 1 len) in
+    return (len, bits_a, bits_b))
+
+let qcheck_iter_diff =
+  QCheck.Test.make ~name:"iter_diff vs bit-by-bit reference" ~count:500
+    (QCheck.make
+       ~print:(fun (len, a, b) ->
+         Printf.sprintf "len=%d a=[%s] b=[%s]" len
+           (String.concat ";" (List.map string_of_int a))
+           (String.concat ";" (List.map string_of_int b)))
+       diff_gen)
+    (fun (len, bits_a, bits_b) ->
+      let a, ma = build (len, bits_a) in
+      let b, mb = build (len, bits_b) in
+      let expect =
+        List.filter
+          (fun i -> ma.(i) && not mb.(i))
+          (List.init len (fun k -> k + 1))
+      in
+      let collected = ref [] in
+      B.iter_diff a b ~f:(fun p -> collected := p :: !collected);
+      List.rev !collected = expect)
+
+let test_word_parallel_edges () =
+  (* length 0: constructible, countable, un-indexable *)
+  let z = B.create 0 in
+  Alcotest.(check int) "len 0 count_all" 0 (B.count_all z);
+  Alcotest.check_raises "len 0 get"
+    (Invalid_argument "Bitvec: position out of range") (fun () ->
+      ignore (B.get z 1));
+  (* exactly one word, last position = sign bit of the word *)
+  let v = B.create 63 in
+  B.set v 63 true;
+  Alcotest.(check int) "sign-bit count" 1 (B.count v (I.make 63 63));
+  Alcotest.(check (option int)) "sign-bit first_set" (Some 63)
+    (B.first_set v (I.make 1 63));
+  Alcotest.(check (option int)) "sign-bit select" (Some 63) (B.select v 1);
+  (* first position of the second word *)
+  let w = B.create 64 in
+  B.set w 64 true;
+  Alcotest.(check int) "word-boundary rank" 1 (B.rank w 64);
+  Alcotest.(check (option int)) "word-boundary first_set" (Some 64)
+    (B.first_set w (I.make 2 64));
+  Alcotest.(check (option int)) "empty-range first_set" None
+    (B.first_set w (I.make 1 63));
+  B.clear_all w;
+  Alcotest.(check int) "clear_all" 0 (B.count_all w);
+  Alcotest.check_raises "iter_diff length mismatch"
+    (Invalid_argument "Bitvec.iter_diff: length mismatch") (fun () ->
+      B.iter_diff v w ~f:ignore)
+
 let suite =
   ( "bitvec",
     [
       Alcotest.test_case "basic get/set" `Quick test_basic;
       Alcotest.test_case "rank/select/ones_in" `Quick test_rank_select;
       Alcotest.test_case "fill/blit/equal" `Quick test_fill_and_blit;
+      Alcotest.test_case "word-parallel edge cases" `Quick
+        test_word_parallel_edges;
       QCheck_alcotest.to_alcotest qcheck_model;
       QCheck_alcotest.to_alcotest qcheck_fold;
+      QCheck_alcotest.to_alcotest qcheck_range_ops;
+      QCheck_alcotest.to_alcotest qcheck_rank_select;
+      QCheck_alcotest.to_alcotest qcheck_iter_diff;
     ] )
