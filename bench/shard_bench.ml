@@ -1,0 +1,274 @@
+(* Intra-round sharding benchmark: per-round wall time of the no-fault
+   This-work run as a function of the engine's [?shards] count, at the
+   scales EXPERIMENTS.md reports (n = 8192 / 32768 / 131072). Built on
+   the public [Experiment] API only, like engine_bench.
+
+   Every sweep doubles as a determinism gate: for each n, the shards>1
+   assessments (assignments, rounds, messages, bits) are compared
+   against the 1-shard reference and any difference exits 1 — a cheap
+   end-to-end re-check of the cross-domain matrix in test/test_shard.ml
+   at scales the test suite cannot afford.
+
+   Usage:
+     dune exec bench/shard_bench.exe                   # full sweep
+     dune exec bench/shard_bench.exe -- --smoke        # CI smoke mode
+     dune exec bench/shard_bench.exe -- --out F.json   # write JSON to F
+     dune exec bench/shard_bench.exe -- --check-against BENCH_shard.json
+                                       # fail on >25% us/round regression
+     dune exec bench/shard_bench.exe -- --require-speedup
+                                       # fail unless us/round is monotone
+                                       # nonincreasing in the shard count
+
+   [--require-speedup] is off by default on purpose: a shard only buys
+   wall-clock on a core of its own, and CI containers are routinely
+   single-core — there the sweep still gates determinism and the
+   per-round regression bound, while the speedup column is merely
+   reported. *)
+
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+
+type measurement = {
+  n : int;
+  shards : int;
+  runs : int;
+  wall_s : float;
+  rounds : int;  (* total across [runs] *)
+  us_per_round : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let one_run ~n ~shards ~seed =
+  E.run_crash ~shards ~protocol:E.This_work_crash ~n ~namespace:(64 * n)
+    ~adversary:E.No_crash ~seed ()
+
+(* Fingerprint of everything the determinism gate compares. The
+   assignments list is kept whole — at n = 131072 that is two words per
+   node, cheap next to the run itself. *)
+type fingerprint = {
+  f_rounds : int;
+  f_messages : int;
+  f_bits : int;
+  f_assignments : (int * int) list;
+}
+
+let fingerprint (a : Runner.assessment) =
+  if not a.Runner.correct then failwith "shard_bench: incorrect run";
+  {
+    f_rounds = a.Runner.rounds;
+    f_messages = a.Runner.messages;
+    f_bits = a.Runner.bits;
+    f_assignments = a.Runner.assignments;
+  }
+
+let measure ~n ~shards ~runs =
+  Gc.full_major ();
+  let t0 = now () in
+  let rounds = ref 0 in
+  let fp = ref None in
+  for i = 1 to runs do
+    let a = one_run ~n ~shards ~seed:(41 + i) in
+    rounds := !rounds + a.Runner.rounds;
+    if i = 1 then fp := Some (fingerprint a)
+  done;
+  let wall_s = now () -. t0 in
+  ( {
+      n;
+      shards;
+      runs;
+      wall_s;
+      rounds = !rounds;
+      us_per_round = 1e6 *. wall_s /. float_of_int !rounds;
+    },
+    Option.get !fp )
+
+let check_fingerprint ~n ~shards ~reference fp =
+  let fail what =
+    Printf.printf
+      "determinism: n=%d shards=%d diverges from the 1-shard reference (%s)\n"
+      n shards what;
+    exit 1
+  in
+  if fp.f_rounds <> reference.f_rounds then fail "rounds";
+  if fp.f_messages <> reference.f_messages then fail "messages";
+  if fp.f_bits <> reference.f_bits then fail "bits";
+  if fp.f_assignments <> reference.f_assignments then fail "assignments"
+
+(* {2 Report} *)
+
+let speedup_vs_1 ms m =
+  match List.find_opt (fun r -> r.n = m.n && r.shards = 1) ms with
+  | Some base when m.us_per_round > 0. -> base.us_per_round /. m.us_per_round
+  | _ -> 1.
+
+let json_of_measurement ms m =
+  Printf.sprintf
+    {|    {"n": %d, "shards": %d, "runs": %d, "wall_s": %.4f, "rounds": %d, "us_per_round": %.2f, "speedup_vs_1": %.3f}|}
+    m.n m.shards m.runs m.wall_s m.rounds m.us_per_round (speedup_vs_1 ms m)
+
+let write_json ~out ~mode ms =
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"shard-bench/v1\",\n  \"mode\": \"%s\",\n  \
+     \"measurements\": [\n%s\n  ]\n}\n"
+    mode
+    (String.concat ",\n" (List.map (json_of_measurement ms) ms));
+  close_out oc
+
+(* Committed-baseline scanner for [--check-against], same approach as
+   engine_bench: whitespace-normalise and scan for the fixed field
+   order the writer guarantees — the format is ours, no JSON parser
+   needed. *)
+let committed_field ~file ~n ~shards ~key =
+  let raw = In_channel.with_open_bin file In_channel.input_all in
+  let b = Buffer.create (String.length raw) in
+  String.iter
+    (fun c ->
+      if c <> ' ' && c <> '\n' && c <> '\t' && c <> '\r' then
+        Buffer.add_char b c)
+    raw;
+  let s = Buffer.contents b in
+  let find_sub s needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i =
+      if i + nl > sl then None
+      else if String.sub s i nl = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match find_sub s (Printf.sprintf "{\"n\":%d,\"shards\":%d," n shards) with
+  | None -> None
+  | Some i -> (
+      let rest = String.sub s i (String.length s - i) in
+      let key = "\"" ^ key ^ "\":" in
+      match find_sub rest key with
+      | None -> None
+      | Some j ->
+          let j = j + String.length key in
+          let sl = String.length rest in
+          let k = ref j in
+          while
+            !k < sl
+            && (match rest.[!k] with
+               | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+               | _ -> false)
+          do
+            incr k
+          done;
+          float_of_string_opt (String.sub rest j (!k - j)))
+
+let check_against ~file ~tolerance ms =
+  let failures = ref 0 in
+  List.iter
+    (fun m ->
+      match committed_field ~file ~n:m.n ~shards:m.shards ~key:"us_per_round" with
+      | None ->
+          Printf.printf "check: n=%-6d shards=%d  no committed baseline, skipped\n"
+            m.n m.shards
+      | Some committed ->
+          let limit = committed *. (1. +. tolerance) in
+          if m.us_per_round > limit then begin
+            incr failures;
+            Printf.printf
+              "check: n=%-6d shards=%d  FAIL  %.2f us/round > %.2f (committed \
+               %.2f +%.0f%%)\n"
+              m.n m.shards m.us_per_round limit committed (100. *. tolerance)
+          end
+          else
+            Printf.printf
+              "check: n=%-6d shards=%d  ok    %.2f us/round <= %.2f (committed \
+               %.2f)\n"
+              m.n m.shards m.us_per_round limit committed)
+    ms;
+  if !failures > 0 then begin
+    Printf.printf "check: %d regression(s) vs %s\n" !failures file;
+    exit 1
+  end
+
+let check_speedup ms =
+  let failures = ref 0 in
+  let by_n = List.sort_uniq compare (List.map (fun m -> m.n) ms) in
+  List.iter
+    (fun n ->
+      let rows =
+        List.filter (fun m -> m.n = n) ms
+        |> List.sort (fun a b -> compare a.shards b.shards)
+      in
+      ignore
+        (List.fold_left
+           (fun prev m ->
+             (match prev with
+             | Some p when m.us_per_round > p.us_per_round ->
+                 incr failures;
+                 Printf.printf
+                   "speedup: n=%-6d %d -> %d shards regresses (%.2f -> %.2f \
+                    us/round)\n"
+                   n p.shards m.shards p.us_per_round m.us_per_round
+             | _ -> ());
+             Some m)
+           None rows))
+    by_n;
+  if !failures > 0 then begin
+    Printf.printf "speedup: %d non-monotone step(s)\n" !failures;
+    exit 1
+  end
+
+let () =
+  Repro_renaming.Parallel.tune_gc ();
+  let mode = ref `Full and out = ref "BENCH_shard.json" in
+  let check = ref None and tolerance = ref 0.25 in
+  let require_speedup = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        mode := `Smoke;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := f;
+        parse rest
+    | "--check-against" :: f :: rest ->
+        check := Some f;
+        parse rest
+    | "--tolerance" :: t :: rest ->
+        tolerance := float_of_string t;
+        parse rest
+    | "--require-speedup" :: rest ->
+        require_speedup := true;
+        parse rest
+    | a :: _ -> invalid_arg ("shard_bench: unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let shard_counts = [ 1; 2; 4 ] in
+  let configs =
+    match !mode with
+    | `Smoke -> [ (256, 3) ]
+    | `Full -> [ (8192, 2); (32768, 1); (131072, 1) ]
+  in
+  let ms =
+    List.concat_map
+      (fun (n, runs) ->
+        let reference = ref None in
+        List.map
+          (fun shards ->
+            let m, fp = measure ~n ~shards ~runs in
+            (match !reference with
+            | None -> reference := Some fp
+            | Some r -> check_fingerprint ~n ~shards ~reference:r fp);
+            Printf.printf
+              "n=%-6d shards=%d  %10.2f us/round  (%d rounds, %d runs, %.2f \
+               s)\n%!"
+              m.n m.shards m.us_per_round m.rounds m.runs m.wall_s;
+            m)
+          shard_counts)
+      configs
+  in
+  Printf.printf "determinism: all shard counts byte-agree with shards=1\n";
+  let mode_name = match !mode with `Smoke -> "smoke" | `Full -> "full" in
+  write_json ~out:!out ~mode:mode_name ms;
+  Printf.printf "wrote %s\n" !out;
+  (match !check with
+  | Some file -> check_against ~file ~tolerance:!tolerance ms
+  | None -> ());
+  if !require_speedup then check_speedup ms

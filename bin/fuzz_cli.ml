@@ -76,6 +76,14 @@ let domains_arg =
         ~doc:"OCaml domains for the campaign (default: auto). Verdicts \
               do not depend on this.")
 
+let shards_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:"Shard each run's rounds across S OCaml domains (default: \
+              the RENAMING_SHARDS environment variable, else 1). \
+              Verdicts and traces are bit-identical for every value.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the trace on replay.")
 
@@ -107,7 +115,7 @@ let schedule_meta (s : Schedule.t) =
     ("faults", `Int (Schedule.faults s));
   ]
 
-let do_replay path quiet trace_out =
+let do_replay path quiet trace_out shards =
   match Schedule.of_file path with
   | Error m ->
       Printf.eprintf "fuzz: cannot load %s: %s\n" path m;
@@ -116,7 +124,7 @@ let do_replay path quiet trace_out =
       let jsonl =
         Option.map (fun _ -> Trace.create ~meta:(schedule_meta s) ()) trace_out
       in
-      let trace, v = Fuzzer.replay ?jsonl s in
+      let trace, v = Fuzzer.replay ?jsonl ?shards s in
       (* Written before the verdict gates the exit code: a failing
          replay's trace is the one worth keeping. An aborted run leaves
          the recorder unfinished; the partial trace (no summary line) is
@@ -127,11 +135,11 @@ let do_replay path quiet trace_out =
       if quiet then print_verdict v else print_string trace;
       if Oracle.failed v then exit 1
 
-let do_campaign config shrink out domains =
+let do_campaign config shrink out domains shards =
   Printf.printf "fuzzing %s: n=%d namespace=%d trials=%d seed=%d budget=%d\n%!"
     (Schedule.algo_name config.Fuzzer.algo)
     config.n config.namespace config.trials config.seed config.fault_budget;
-  let reports = Fuzzer.campaign ?domains config in
+  let reports = Fuzzer.campaign ?domains ?shards config in
   match Fuzzer.first_failure reports with
   | None ->
       Printf.printf "ok: %d trials, all invariants upheld\n" config.trials
@@ -146,7 +154,7 @@ let do_campaign config shrink out domains =
           let progress ~passes ~faults =
             Printf.printf "  shrink pass %d: %d fault events\n%!" passes faults
           in
-          let still_fails s = Oracle.failed (Fuzzer.run s) in
+          let still_fails s = Oracle.failed (Fuzzer.run ?shards s) in
           let s = Shrink.minimize ~progress ~still_fails r.schedule in
           Printf.printf "shrunk to %d fault events\n" (Schedule.faults s);
           s
@@ -160,7 +168,7 @@ let do_campaign config shrink out domains =
           (* Dump the structured run trace of the reproducer next to the
              schedule: the first artefact to look at when triaging. *)
           let t = Trace.create ~meta:(schedule_meta final) () in
-          ignore (Fuzzer.run ~jsonl:t final);
+          ignore (Fuzzer.run ~jsonl:t ?shards final);
           let tpath = path ^ ".trace.jsonl" in
           Trace.write_file t tpath;
           Printf.printf
@@ -169,10 +177,10 @@ let do_campaign config shrink out domains =
       | None -> ());
       exit 1
 
-let main algo n namespace trials seed faults shrink out replay domains quiet
-    trace dump =
+let main algo n namespace trials seed faults shrink out replay domains shards
+    quiet trace dump =
   match replay with
-  | Some path -> do_replay path quiet trace
+  | Some path -> do_replay path quiet trace shards
   | None -> (
       let namespace = if namespace = 0 then 64 * n else namespace in
       let config =
@@ -181,7 +189,7 @@ let main algo n namespace trials seed faults shrink out replay domains quiet
       in
       match dump with
       | Some i -> print_string (Schedule.to_string (Fuzzer.generate config i))
-      | None -> do_campaign config shrink out domains)
+      | None -> do_campaign config shrink out domains shards)
 
 let cmd =
   let doc =
@@ -192,7 +200,7 @@ let cmd =
     Term.(
       const main $ algo_arg $ n_arg $ namespace_arg $ trials_arg $ seed_arg
       $ faults_arg $ shrink_arg $ out_arg $ replay_arg $ domains_arg
-      $ quiet_arg $ trace_arg $ dump_arg)
+      $ shards_arg $ quiet_arg $ trace_arg $ dump_arg)
 
 let () =
   Repro_renaming.Parallel.tune_gc ();

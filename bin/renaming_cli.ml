@@ -58,6 +58,17 @@ let domains_arg =
 
 let set_domains = Option.iter Repro_renaming.Parallel.set_domains
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Shard each round's delivery and protocol steps across $(docv) \
+           OCaml domains (default: the RENAMING_SHARDS environment \
+           variable, else 1). Results (assignments, metrics, traces) are \
+           bit-identical for every value; only the wall-clock changes.")
+
 (* The trace file must hit the disk before [report], which exits non-zero
    on incorrect runs: a failing run's trace is exactly the one worth
    keeping. *)
@@ -88,7 +99,7 @@ let crash_adversary_conv =
       ("killer-partial", `Killer_partial); ("patient", `Patient) ]
 
 let crash_cmd =
-  let run n namespace f adversary seed verbose trace domains =
+  let run n namespace f adversary seed verbose trace domains shards =
     set_domains domains;
     let namespace = resolve_namespace n namespace in
     let kind, adversary =
@@ -110,8 +121,8 @@ let crash_cmd =
     in
     report verbose
       (with_trace ~meta trace (fun tr ->
-           E.run_crash ?trace:tr ~protocol:E.This_work_crash ~n ~namespace
-             ~adversary ~seed ()))
+           E.run_crash ?trace:tr ?shards ~protocol:E.This_work_crash ~n
+             ~namespace ~adversary ~seed ()))
   in
   let adversary_arg =
     Arg.(
@@ -125,14 +136,14 @@ let crash_cmd =
     (Cmd.info "crash" ~doc:"Run the crash-resilient committee renaming (§2).")
     Term.(
       const run $ n_arg $ namespace_arg $ f_arg $ adversary_arg $ seed_arg
-      $ verbose_arg $ trace_arg $ domains_arg)
+      $ verbose_arg $ trace_arg $ domains_arg $ shards_arg)
 
 let byz_attack_conv =
   Arg.enum
     [ ("silent", `Silent); ("noise", `Noise); ("split-world", `Split) ]
 
 let byz_cmd =
-  let run n namespace f attack everyone seed verbose trace domains =
+  let run n namespace f attack everyone seed verbose trace domains shards =
     set_domains domains;
     let namespace = resolve_namespace n namespace in
     let kind, adversary =
@@ -153,7 +164,8 @@ let byz_cmd =
     in
     report verbose
       (with_trace ~meta trace (fun tr ->
-           E.run_byz ?trace:tr ~protocol ~n ~namespace ~adversary ~seed ()))
+           E.run_byz ?trace:tr ?shards ~protocol ~n ~namespace ~adversary
+             ~seed ()))
   in
   let attack_arg =
     Arg.(
@@ -173,9 +185,9 @@ let byz_cmd =
        ~doc:"Run the Byzantine-resilient order-preserving renaming (§3).")
     Term.(
       const run $ n_arg $ namespace_arg $ f_arg $ attack_arg $ everyone_arg
-      $ seed_arg $ verbose_arg $ trace_arg $ domains_arg)
+      $ seed_arg $ verbose_arg $ trace_arg $ domains_arg $ shards_arg)
 
-let baseline_run protocol n namespace f seed verbose trace domains =
+let baseline_run protocol n namespace f seed verbose trace domains shards =
   set_domains domains;
   let namespace = resolve_namespace n namespace in
   let kind, adversary =
@@ -190,7 +202,8 @@ let baseline_run protocol n namespace f seed verbose trace domains =
   in
   report verbose
     (with_trace ~meta trace (fun tr ->
-         E.run_crash ?trace:tr ~protocol ~n ~namespace ~adversary ~seed ()))
+         E.run_crash ?trace:tr ?shards ~protocol ~n ~namespace ~adversary
+           ~seed ()))
 
 let flooding_cmd =
   Cmd.v
@@ -198,7 +211,7 @@ let flooding_cmd =
     Term.(
       const (baseline_run E.Flooding_baseline)
       $ n_arg $ namespace_arg $ f_arg $ seed_arg $ verbose_arg $ trace_arg
-      $ domains_arg)
+      $ domains_arg $ shards_arg)
 
 let halving_cmd =
   Cmd.v
@@ -206,7 +219,7 @@ let halving_cmd =
     Term.(
       const (baseline_run E.Halving_baseline)
       $ n_arg $ namespace_arg $ f_arg $ seed_arg $ verbose_arg $ trace_arg
-      $ domains_arg)
+      $ domains_arg $ shards_arg)
 
 let lower_bound_cmd =
   let run n seed =
@@ -252,7 +265,7 @@ let sweep_crash_cmd =
       [ ("this-work", E.This_work_crash); ("halving", E.Halving_baseline);
         ("flooding", E.Flooding_baseline) ]
   in
-  let run protocol n namespace fs trials seed domains =
+  let run protocol n namespace fs trials seed domains shards =
     set_domains domains;
     let namespace = resolve_namespace n namespace in
     let rows =
@@ -261,7 +274,8 @@ let sweep_crash_cmd =
           let adversary = if f = 0 then E.No_crash else E.Committee_killer f in
           let a, rounds, messages, bits =
             E.averaged ~trials ~seed (fun ~seed ->
-                E.run_crash ~protocol ~n ~namespace ~adversary ~seed ())
+                E.run_crash ?shards ~protocol ~n ~namespace ~adversary ~seed
+                  ())
           in
           [
             string_of_int f;
@@ -291,10 +305,10 @@ let sweep_crash_cmd =
        ~doc:"Sweep the crash-failure count and tabulate costs.")
     Term.(
       const run $ protocol_arg $ n_arg $ namespace_arg $ fs_arg $ trials_arg
-      $ seed_arg $ domains_arg)
+      $ seed_arg $ domains_arg $ shards_arg)
 
 let sweep_byz_cmd =
-  let run n namespace fs seed domains =
+  let run n namespace fs seed domains shards =
     set_domains domains;
     let namespace = resolve_namespace n namespace in
     let rows =
@@ -302,8 +316,8 @@ let sweep_byz_cmd =
         (fun f ->
           let adversary = if f = 0 then E.No_byz else E.Split_world_byz f in
           let a =
-            E.run_byz ~protocol:E.This_work_byz ~n ~namespace ~adversary ~seed
-              ()
+            E.run_byz ?shards ~protocol:E.This_work_byz ~n ~namespace
+              ~adversary ~seed ()
           in
           [
             string_of_int f;
@@ -324,7 +338,9 @@ let sweep_byz_cmd =
   Cmd.v
     (Cmd.info "sweep-byz"
        ~doc:"Sweep the Byzantine count under the split-world attack.")
-    Term.(const run $ n_arg $ namespace_arg $ fs_arg $ seed_arg $ domains_arg)
+    Term.(
+      const run $ n_arg $ namespace_arg $ fs_arg $ seed_arg $ domains_arg
+      $ shards_arg)
 
 let () =
   let info =

@@ -128,7 +128,7 @@ let jsonl_hooks jsonl =
     Option.map (fun t ~round ~id -> Trace.on_decide t ~round ~id) jsonl,
     Option.map (fun t ~round m -> Trace.on_round_end t ~round m) jsonl )
 
-let run_crash ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
+let run_crash ?trace ?jsonl ?shards (s : Schedule.t) : Oracle.verdict =
   let ids = crash_ids_of s in
   let params = CR.experiment_params in
   let round_bound = crash_round_bound ~n:s.n in
@@ -160,7 +160,7 @@ let run_crash ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
       ~crash:(CR.Net.Crash.scripted (scripted_events s))
       ~tap ?on_crash ?on_decide ?on_round_end
       ~max_rounds:(round_bound + 8)
-      ~seed:s.seed ~program:(CR.program params) ()
+      ~seed:s.seed ?shards ~program:(CR.program params) ()
   with
   | res ->
       Option.iter (fun t -> Trace.finish t res.Engine.metrics) jsonl;
@@ -169,7 +169,7 @@ let run_crash ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
       Oracle.no_termination ~round_bound
   | exception e -> Oracle.crashed_run e
 
-let run_byz ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
+let run_byz ?trace ?jsonl ?shards (s : Schedule.t) : Oracle.verdict =
   let ids = byz_ids_of s in
   let n = s.n in
   let params =
@@ -221,7 +221,7 @@ let run_byz ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
     BR.Net.run ~ids ?byz
       ~crash:(BR.Net.Crash.scripted (scripted_events s))
       ~tap ?on_crash ?on_decide ?on_round_end ~max_rounds:byz_round_bound
-      ~seed:s.seed ~program:(BR.program params) ()
+      ~seed:s.seed ?shards ~program:(BR.program params) ()
   with
   | res ->
       Option.iter (fun t -> Trace.finish t res.Engine.metrics) jsonl;
@@ -230,10 +230,10 @@ let run_byz ?trace ?jsonl (s : Schedule.t) : Oracle.verdict =
       Oracle.no_termination ~round_bound:byz_round_bound
   | exception e -> Oracle.crashed_run e
 
-let run ?trace ?jsonl (s : Schedule.t) =
+let run ?trace ?jsonl ?shards (s : Schedule.t) =
   match s.algo with
-  | Schedule.Crash -> run_crash ?trace ?jsonl s
-  | Schedule.Byz -> run_byz ?trace ?jsonl s
+  | Schedule.Crash -> run_crash ?trace ?jsonl ?shards s
+  | Schedule.Byz -> run_byz ?trace ?jsonl ?shards s
 
 (* {2 Generation} *)
 
@@ -295,22 +295,22 @@ type report = {
   verdict : Oracle.verdict;
 }
 
-let campaign ?domains config =
+let campaign ?domains ?shards config =
   Repro_renaming.Parallel.map_list ?domains config.trials (fun i ->
       let schedule = generate config i in
-      { index = i; schedule; verdict = run schedule })
+      { index = i; schedule; verdict = run ?shards schedule })
 
 let first_failure reports =
   List.find_opt (fun r -> Oracle.failed r.verdict) reports
 
 (* {2 Replay} *)
 
-let replay ?jsonl (s : Schedule.t) =
+let replay ?jsonl ?shards (s : Schedule.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "== schedule ==\n";
   Buffer.add_string buf (Schedule.to_string s);
   Buffer.add_string buf "== trace ==\n";
-  let v = run ~trace:buf ?jsonl s in
+  let v = run ~trace:buf ?jsonl ?shards s in
   Buffer.add_string buf "== verdict ==\n";
   (match v.Oracle.assessment with
   | Some a ->

@@ -48,7 +48,11 @@ val generate : config -> int -> Schedule.t
     isolation from its recorded schedule alone). *)
 
 val run :
-  ?trace:Buffer.t -> ?jsonl:Repro_obs.Trace.t -> Schedule.t -> Oracle.verdict
+  ?trace:Buffer.t ->
+  ?jsonl:Repro_obs.Trace.t ->
+  ?shards:int ->
+  Schedule.t ->
+  Oracle.verdict
 (** Execute one schedule and judge it. When [trace] is given, every
     envelope the tap observes is appended to it as one line
     ([r<round> <src> -> <dst> <msg>]) in deterministic order. When
@@ -56,7 +60,9 @@ val run :
     (per-round accounting rows, size histogram, crash/decide events) and
     [Trace.finish] is called before the oracle verdict — unless the run
     aborted (round-bound exceeded or an exception), in which case the
-    recorder is left unfinished. *)
+    recorder is left unfinished. [shards] splits the engine's per-round
+    work across domains ([Engine.run]'s parameter); verdicts, traces and
+    recorded runs are bit-identical for every count. *)
 
 type report = {
   index : int;
@@ -64,17 +70,23 @@ type report = {
   verdict : Oracle.verdict;
 }
 
-val campaign : ?domains:int -> config -> report list
+val campaign : ?domains:int -> ?shards:int -> config -> report list
 (** Run [config.trials] generated schedules, fanned over [domains]
     OCaml domains (default [Parallel.default_domains ()]). The report
     list is ordered by trial index and bit-identical for every domain
-    count. *)
+    count. [shards] additionally shards each trial's rounds internally
+    (also bit-identical; total domains ≈ [domains × shards]). *)
 
 val first_failure : report list -> report option
 
-val replay : ?jsonl:Repro_obs.Trace.t -> Schedule.t -> string * Oracle.verdict
+val replay :
+  ?jsonl:Repro_obs.Trace.t ->
+  ?shards:int ->
+  Schedule.t ->
+  string * Oracle.verdict
 (** Full deterministic replay: returns the schedule text, the complete
     envelope trace, the assessment summary and the verdict as one
     printable document. Replaying the same schedule twice yields
-    byte-identical output. [jsonl] additionally records the structured
-    run trace, exactly as in {!run}. *)
+    byte-identical output — for every [shards] count, too. [jsonl]
+    additionally records the structured run trace, exactly as in
+    {!run}. *)

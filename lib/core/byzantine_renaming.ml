@@ -521,11 +521,14 @@ let program ?telemetry params ctx =
   collect_new_identity ctx ~view first_inbox
 
 let run ?telemetry ~params ?byz ?tap ?on_crash ?on_decide ?on_round_end
-    ?max_rounds ?seed ~ids () =
+    ?max_rounds ?seed ?shards ~ids () =
   Array.iter
     (fun id ->
       if id < 1 || id > params.namespace then
         invalid_arg "Byzantine_renaming.run: identity outside namespace")
     ids;
+  (* Telemetry hooks aggregate across nodes from inside the fibers
+     (documented contract), so a telemetry run must stay sequential. *)
+  let shards = if Option.is_some telemetry then Some 1 else shards in
   Net.run ~ids ?byz ?tap ?on_crash ?on_decide ?on_round_end ?max_rounds ?seed
-    ~program:(program ?telemetry params) ()
+    ?shards ~program:(program ?telemetry params) ()

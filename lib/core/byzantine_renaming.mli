@@ -145,6 +145,12 @@ val run :
   ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?max_rounds:int ->
   ?seed:int ->
+  ?shards:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
+(** Validates every identity against [params.namespace], then runs
+    through {!Net.run}. [shards] passes through (bit-identical results
+    for every count), except that a [telemetry] run always executes
+    sequentially: the telemetry hooks may aggregate across nodes from
+    inside the fibers, which is only deterministic on one domain. *)

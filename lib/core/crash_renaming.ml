@@ -991,8 +991,11 @@ let program ?telemetry params ctx =
   Interval.point st.iv
 
 let run ?(params = experiment_params) ?telemetry ?crash ?tap ?on_crash
-    ?on_decide ?on_round_end ?seed ~ids () =
-  Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
+    ?on_decide ?on_round_end ?seed ?shards ~ids () =
+  (* Telemetry hooks aggregate across nodes from inside the fibers
+     (documented contract), so a telemetry run must stay sequential. *)
+  let shards = if Option.is_some telemetry then Some 1 else shards in
+  Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed ?shards
     ~program:(program ?telemetry params) ()
 
 module For_tests = struct

@@ -124,13 +124,18 @@ val run :
   ?on_decide:(round:int -> id:int -> unit) ->
   ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?seed:int ->
+  ?shards:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
 (** Convenience wrapper around {!Net.run}; the optional [tap] and
     [on_*] observability hooks are passed straight through (see
     [Engine.run] for their contracts — [Experiment] wires them to a
-    [Repro_obs.Trace] recorder). *)
+    [Repro_obs.Trace] recorder). [shards] passes through too
+    (bit-identical results for every count), except that a [telemetry]
+    run always executes sequentially: the telemetry hooks may aggregate
+    across nodes from inside the fibers, which is only deterministic on
+    one domain. *)
 
 (** Test-only seams into the committee internals. *)
 module For_tests : sig

@@ -60,8 +60,8 @@ let trace_hooks trace =
     Option.map (fun t ~round ~id -> Trace.on_decide t ~round ~id) trace,
     Option.map (fun t ~round m -> Trace.on_round_end t ~round m) trace )
 
-let run_crash ?trace ?committee_path ~protocol ~n ~namespace ~adversary ~seed
-    () =
+let run_crash ?trace ?committee_path ?shards ~protocol ~n ~namespace
+    ~adversary ~seed () =
   let ids = random_ids ~seed:(seed lxor 0x1d5) ~namespace ~n in
   let rng = Rng.of_seed (seed lxor 0xadce5) in
   let on_crash, on_decide, on_round_end = trace_hooks trace in
@@ -115,7 +115,7 @@ let run_crash ?trace ?committee_path ~protocol ~n ~namespace ~adversary ~seed
               { Crash_renaming.experiment_params with committee_path }
         in
         Crash_renaming.run ~params ~ids ~crash:(A.make adversary) ?tap
-          ?on_crash ?on_decide ?on_round_end ~seed ()
+          ?on_crash ?on_decide ?on_round_end ~seed ?shards ()
     | Halving_baseline ->
         let module A = Adversary (struct
           type adv = Halving_renaming.Net.crash_adversary
@@ -129,7 +129,7 @@ let run_crash ?trace ?committee_path ~protocol ~n ~namespace ~adversary ~seed
             trace
         in
         Halving_renaming.run ?committee_path ~ids ~crash:(A.make adversary)
-          ?tap ?on_crash ?on_decide ?on_round_end ~seed ()
+          ?tap ?on_crash ?on_decide ?on_round_end ~seed ?shards ()
     | Flooding_baseline ->
         let module A = Adversary (struct
           type adv = Flooding_renaming.Net.crash_adversary
@@ -146,7 +146,7 @@ let run_crash ?trace ?committee_path ~protocol ~n ~namespace ~adversary ~seed
             trace
         in
         Flooding_renaming.run ~params ~ids ~crash:(A.make adversary) ?tap
-          ?on_crash ?on_decide ?on_round_end ~seed ()
+          ?on_crash ?on_decide ?on_round_end ~seed ?shards ()
   in
   Option.iter (fun t -> Trace.finish t res.Repro_sim.Engine.metrics) trace;
   Runner.assess res
@@ -157,7 +157,8 @@ let committee_pool_probability ~n =
     let log_n = log (float_of_int n) /. log 2. in
     Float.min 1. (4. *. log_n /. float_of_int n)
 
-let run_byz ?trace ~protocol ~n ~namespace ~adversary ?pool_probability
+let run_byz ?trace ?shards ~protocol ~n ~namespace ~adversary
+    ?pool_probability
     ?(reconcile = Byzantine_renaming.Fingerprint_dnc)
     ?(consensus = Byzantine_renaming.Phase_king_consensus) ~seed () =
   let ids = random_ids ~seed:(seed lxor 0x2e7) ~namespace ~n in
@@ -206,7 +207,7 @@ let run_byz ?trace ~protocol ~n ~namespace ~adversary ?pool_probability
   in
   let res =
     Byzantine_renaming.run ~params ?byz ?tap ?on_crash ?on_decide ?on_round_end
-      ~max_rounds:400_000 ~seed ~ids ()
+      ~max_rounds:400_000 ~seed ?shards ~ids ()
   in
   Option.iter (fun t -> Trace.finish t res.Repro_sim.Engine.metrics) trace;
   Runner.assess res

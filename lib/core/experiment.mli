@@ -44,6 +44,7 @@ val byz_adversary_f : byz_adversary -> int
 val run_crash :
   ?trace:Repro_obs.Trace.t ->
   ?committee_path:Crash_renaming.committee_path ->
+  ?shards:int ->
   protocol:crash_protocol ->
   n:int ->
   namespace:int ->
@@ -63,10 +64,15 @@ val run_crash :
     via the engine hooks, the on-wire size histogram via [tap] — and
     {!Repro_obs.Trace.finish} is called on the run's metrics before the
     assessment is computed, so the recorder holds a complete run record
-    when this returns. *)
+    when this returns.
+
+    [shards] splits the engine's per-round work across domains
+    ([Engine.run]'s parameter, bit-identical results — and identical
+    trace records — for every count). *)
 
 val run_byz :
   ?trace:Repro_obs.Trace.t ->
+  ?shards:int ->
   protocol:byz_protocol ->
   n:int ->
   namespace:int ->
@@ -80,7 +86,8 @@ val run_byz :
 (** One execution; [pool_probability] defaults to [min 1 (4·log₂ n / n)],
     giving Θ(log n) expected committee members among the nodes;
     [reconcile] defaults to the paper's fingerprint divide-and-conquer.
-    [trace] records the run exactly as in {!run_crash}. *)
+    [trace] records the run exactly as in {!run_crash}, and [shards]
+    behaves as there. *)
 
 val committee_pool_probability : n:int -> float
 

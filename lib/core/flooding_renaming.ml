@@ -76,6 +76,6 @@ let program params ctx =
   rank
 
 let run ?(params = default_params) ?crash ?tap ?on_crash ?on_decide
-    ?on_round_end ?seed ~ids () =
-  Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
+    ?on_round_end ?seed ?shards ~ids () =
+  Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed ?shards
     ~program:(program params) ()

@@ -48,8 +48,9 @@ val run :
   ?on_decide:(round:int -> id:int -> unit) ->
   ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?seed:int ->
+  ?shards:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
-(** Convenience wrapper around {!Net.run}; the observability hooks pass
-    straight through to [Engine.run]. *)
+(** Convenience wrapper around {!Net.run}; the observability hooks and
+    [shards] pass straight through to [Engine.run]. *)

@@ -15,11 +15,11 @@ let params =
 let program ctx = Crash_renaming.program params ctx
 
 let run ?committee_path ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
-    ~ids () =
+    ?shards ~ids () =
   let params =
     match committee_path with
     | None -> params
     | Some committee_path -> { params with Crash_renaming.committee_path }
   in
   Crash_renaming.run ~params ?crash ?tap ?on_crash ?on_decide ?on_round_end
-    ?seed ~ids ()
+    ?seed ?shards ~ids ()

@@ -32,8 +32,10 @@ val run :
   ?on_decide:(round:int -> id:int -> unit) ->
   ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
   ?seed:int ->
+  ?shards:int ->
   ids:int array ->
   unit ->
   int Repro_sim.Engine.run_result
 (** Wrapper over {!Crash_renaming.run} with the all-to-all parameters;
-    the observability hooks pass straight through to [Engine.run]. *)
+    the observability hooks and [shards] pass straight through to
+    [Engine.run]. *)

@@ -31,3 +31,12 @@ val tune_gc : unit -> unit
     mid-round minor collections). Intended to be called once at startup
     by executables (the bench binaries do); never called implicitly by
     the library. *)
+
+module Pool = Repro_util.Domain_pool
+(** Reusable domain pool with one barrier per job — the machinery behind
+    [Engine.run ?shards] (intra-round sharding), re-exported for
+    experiment-level code. See {!Repro_util.Domain_pool}. *)
+
+module Shard = Repro_util.Shard
+(** The deterministic slot partition sharded runs use; re-exported for
+    experiment-level code. See {!Repro_util.Shard}. *)

@@ -287,8 +287,18 @@ module Make (M : MSG) = struct
   let no_crash : crash_adversary = fun _ -> []
 
   let run ~ids ?byz ?(crash = no_crash) ?tap ?on_crash ?on_decide
-      ?on_round_end ?(max_rounds = 100_000) ?(seed = 1) ~program () =
+      ?on_round_end ?(max_rounds = 100_000) ?(seed = 1) ?shards ~program () =
     let n = Array.length ids in
+    let shards =
+      match shards with
+      | Some s ->
+          if s < 1 then invalid_arg "Engine.run: shards must be at least 1";
+          s
+      | None -> Repro_util.Shard.default_count ()
+    in
+    (* Never more shards than recipient slots; 1 selects the sequential
+       round loop (no pool, no domains — the hot path is unchanged). *)
+    let pool_shards = Repro_util.Shard.count ~n ~shards in
     (* Dense slot indexing: one id → slot table built at start; all
        per-node state lives in arrays indexed by slot. *)
     let slot_of : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
@@ -523,6 +533,74 @@ module Make (M : MSG) = struct
     let deliver_broadcast_envs envs =
       List.iteri (fun d e -> receive_env d e) envs
     in
+    (* Phase 2 of every round, shared by the sequential and the sharded
+       loops: let the crash adversary observe and act. The observation
+       (and the envelope materialization it requires) is only built when
+       an adversary is actually attached. Returns the per-slot mid-send
+       filters of this round's victims. *)
+    let apply_crash_orders round_no : (envelope -> bool) option array =
+      if not crash_active then [||]
+      else begin
+        let filters = Array.make n None in
+        let collect f =
+          let acc = ref [] in
+          for s = n - 1 downto 0 do
+            match f s with Some x -> acc := x :: !acc | None -> ()
+          done;
+          !acc
+        in
+        let observation =
+          {
+            obs_round = round_no;
+            obs_alive =
+              collect (fun s ->
+                  match states.(s) with
+                  | Running _ -> Some ids.(s)
+                  | _ -> None);
+            obs_outboxes =
+              collect (fun s ->
+                  match states.(s) with
+                  | Running (Yield (out, _)) ->
+                      let envs = materialize ids.(s) out in
+                      pre_envs.(s) <- Some envs;
+                      Some (ids.(s), envs)
+                  | _ -> None);
+            obs_crashed =
+              collect (fun s ->
+                  match states.(s) with
+                  | Dead _ -> Some ids.(s)
+                  | _ -> None);
+          }
+        in
+        let orders = crash observation in
+        (* First order per victim wins; orders against dead or
+           unknown nodes are ignored. A victim's suspended outbox is
+           kept aside so the adversary-chosen subset still goes out
+           during transmit. *)
+        List.iter
+          (fun { victim; delivered } ->
+            let s = find_slot victim in
+            if s >= 0 && filters.(s) = None then
+              match states.(s) with
+              | Running _ ->
+                  (* [pre_envs.(s)] (set while building the
+                     observation, for [Yield] steps) is the suspended
+                     outbox delivered through the filter below. *)
+                  filters.(s) <- Some delivered;
+                  states.(s) <- Dead round_no;
+                  decr running_count;
+                  Metrics.record_crash metrics;
+                  note_crash ~round:round_no victim
+              | Finished _ ->
+                  filters.(s) <- Some delivered;
+                  states.(s) <- Dead round_no;
+                  Metrics.record_crash metrics;
+                  note_crash ~round:round_no victim
+              | Dead _ | Byz_node -> ())
+          orders;
+        filters
+      end
+    in
     let rec loop () =
       if !running_count = 0 then ()
       else if !current_round >= max_rounds then
@@ -542,72 +620,8 @@ module Make (M : MSG) = struct
               out;
             byz_out.(s) <- out)
           byz_slots;
-        (* 2. Let the crash adversary act. The observation (and the
-           envelope materialization it requires) is only built when an
-           adversary is actually attached. *)
-        let victim_filter : (envelope -> bool) option array =
-          if not crash_active then [||]
-          else begin
-            let filters = Array.make n None in
-            let collect f =
-              let acc = ref [] in
-              for s = n - 1 downto 0 do
-                match f s with Some x -> acc := x :: !acc | None -> ()
-              done;
-              !acc
-            in
-            let observation =
-              {
-                obs_round = round_no;
-                obs_alive =
-                  collect (fun s ->
-                      match states.(s) with
-                      | Running _ -> Some ids.(s)
-                      | _ -> None);
-                obs_outboxes =
-                  collect (fun s ->
-                      match states.(s) with
-                      | Running (Yield (out, _)) ->
-                          let envs = materialize ids.(s) out in
-                          pre_envs.(s) <- Some envs;
-                          Some (ids.(s), envs)
-                      | _ -> None);
-                obs_crashed =
-                  collect (fun s ->
-                      match states.(s) with
-                      | Dead _ -> Some ids.(s)
-                      | _ -> None);
-              }
-            in
-            let orders = crash observation in
-            (* First order per victim wins; orders against dead or
-               unknown nodes are ignored. A victim's suspended outbox is
-               kept aside so the adversary-chosen subset still goes out
-               below. *)
-            List.iter
-              (fun { victim; delivered } ->
-                let s = find_slot victim in
-                if s >= 0 && filters.(s) = None then
-                  match states.(s) with
-                  | Running _ ->
-                      (* [pre_envs.(s)] (set while building the
-                         observation, for [Yield] steps) is the suspended
-                         outbox delivered through the filter below. *)
-                      filters.(s) <- Some delivered;
-                      states.(s) <- Dead round_no;
-                      decr running_count;
-                      Metrics.record_crash metrics;
-                      note_crash ~round:round_no victim
-                  | Finished _ ->
-                      filters.(s) <- Some delivered;
-                      states.(s) <- Dead round_no;
-                      Metrics.record_crash metrics;
-                      note_crash ~round:round_no victim
-                  | Dead _ | Byz_node -> ())
-              orders;
-            filters
-          end
-        in
+        (* 2. Crash orders for this round. *)
+        let victim_filter = apply_crash_orders round_no in
         (* 3. Transmit, senders in ascending id order: full outbox for
            survivors, the adversary-chosen subset for nodes crashed
            mid-send. Both inbox streams fill sorted by construction. *)
@@ -769,7 +783,429 @@ module Make (M : MSG) = struct
         loop ()
       end
     in
-    loop ();
+    (* ---- Sharded round loop ([pool_shards > 1]). ---------------------
+       Recipient slots are partitioned into contiguous ranges, one per
+       shard ([Repro_util.Shard.range]); each round runs the same four
+       phases as the sequential loop with transmit and resume fanned
+       across the domain pool:
+
+       1. (main)   Byzantine strategies + billing + misaddressed drops,
+                   crash orders, and — when a crash adversary is
+                   attached — the victims' mid-send filters applied once
+                   in sequential envelope order. The filters may be
+                   stateful ([Crash.random] draws a coin per envelope),
+                   so they must never run per shard.
+       2. (shards) Delivery: every shard scans all senders in ascending
+                   id order but pushes only into recipient slots it
+                   owns, so each inbox is filled by exactly one domain,
+                   sorted by construction like the sequential fill.
+                   Fast-path broadcasts go to a per-shard copy of the
+                   round's shared table — same content on every shard,
+                   one entry per broadcasting sender — so the growable
+                   table is never shared across domains. Billing is
+                   folded per shard over the senders it owns and merged
+                   on main in ascending shard order: sums commute, so
+                   totals and per-round rows are byte-identical to
+                   sequential accounting.
+       3. (main)   Merge billing, close the metrics round, advance the
+                   round clock, clear the round's staged outboxes.
+       4. (shards) Install the shard's table into its live views,
+                   materialize its Byzantine inboxes, resume its fibers
+                   (a fiber is pinned to the one shard owning its slot,
+                   so node-local mutable protocol state stays
+                   domain-local). Decisions are collected per shard and
+                   the [on_decide] hook fires on main in ascending slot
+                   order — exactly the sequential order.
+
+       With a tap attached, billing + tap + destination validation run
+       as one sequential pass on main before delivery (the tap contract
+       fixes a global envelope order no shard-local pass can reproduce);
+       the shards then only deliver. Without a tap, destination
+       validation happens in the per-shard billing fold, raised by the
+       shard owning the sender (the pool re-raises the lowest shard
+       index's exception, keeping even the error path deterministic). *)
+    let loop_sharded pool =
+      let ranges =
+        Array.init pool_shards (fun k ->
+            Repro_util.Shard.range ~n ~shards:pool_shards k)
+      in
+      let bill_msgs = Array.make pool_shards 0 in
+      let bill_bits = Array.make pool_shards 0 in
+      (* Per-shard copies of the round's shared broadcast table. *)
+      let sh_srcs = Array.make pool_shards [||] in
+      let sh_msgs : M.t array array = Array.make pool_shards [||] in
+      let sh_lens = Array.make pool_shards 0 in
+      let shard_push k src msg =
+        let len = sh_lens.(k) in
+        if len = Array.length sh_srcs.(k) then begin
+          let cap = max 16 (2 * len) in
+          let nsrc = Array.make cap 0 in
+          Array.blit sh_srcs.(k) 0 nsrc 0 len;
+          sh_srcs.(k) <- nsrc;
+          let nmsg = Array.make cap msg in
+          Array.blit sh_msgs.(k) 0 nmsg 0 len;
+          sh_msgs.(k) <- nmsg
+        end;
+        sh_srcs.(k).(len) <- src;
+        sh_msgs.(k).(len) <- msg;
+        sh_lens.(k) <- len + 1
+      in
+      let decided : int list array = Array.make pool_shards [] in
+      let finished_counts = Array.make pool_shards 0 in
+      (* State-gated push, restricted to the shard's recipient range.
+         [lo >= 0], so [d >= lo] also rejects the -1 of an unknown
+         destination (validation happens on the billing side). *)
+      let push_owned lo hi d src msg =
+        if d >= lo && d < hi then
+          match states.(d) with
+          | Running _ | Byz_node -> d_push d src msg
+          | Finished _ | Dead _ -> ()
+      in
+      (* Tap mode: one sequential pass on main reproduces the exact
+         billing + tap + validation event sequence of the sequential
+         transmit, minus the delivery pushes. *)
+      let bill_and_tap_main () =
+        Array.iter
+          (fun s ->
+            match states.(s) with
+            | Byz_node ->
+                let src = ids.(s) in
+                List.iter
+                  (fun (dst, msg) ->
+                    if find_slot dst >= 0 then tap_send ~src ~dst msg)
+                  byz_out.(s)
+            | Running (Yield (out, _)) -> (
+                match pre_envs.(s) with
+                | Some envs -> (
+                    match out with
+                    | Broadcast m ->
+                        Metrics.add_honest_n metrics ~count:n
+                          ~bits_each:(bits_of s m);
+                        List.iter tap_env envs
+                    | Multisend (_, m) ->
+                        Metrics.add_honest_n metrics
+                          ~count:(List.length envs) ~bits_each:(bits_of s m);
+                        List.iter
+                          (fun (e : envelope) ->
+                            if find_slot e.dst < 0 then bad_dst e.src e.dst;
+                            tap_env e)
+                          envs
+                    | Unicast _ -> (
+                        match envs with
+                        | [] -> ()
+                        | e0 :: _ ->
+                            let m0 = e0.msg in
+                            let b0 = M.bits m0 in
+                            List.iter
+                              (fun (e : envelope) ->
+                                Metrics.add_honest metrics
+                                  ~bits:
+                                    (if e.msg == m0 then b0
+                                     else M.bits e.msg);
+                                if find_slot e.dst < 0 then
+                                  bad_dst e.src e.dst;
+                                tap_env e)
+                              envs)
+                    | Sized { sizes; _ } ->
+                        List.iteri
+                          (fun j (e : envelope) ->
+                            Metrics.add_honest metrics ~bits:sizes.(j);
+                            if find_slot e.dst < 0 then bad_dst e.src e.dst;
+                            tap_env e)
+                          envs)
+                | None -> (
+                    let src = ids.(s) in
+                    match out with
+                    | Broadcast m ->
+                        Metrics.add_honest_n metrics ~count:n
+                          ~bits_each:(bits_of s m);
+                        for d = 0 to n - 1 do
+                          tap_send ~src ~dst:ids.(d) m
+                        done
+                    | Multisend (dsts, m) ->
+                        Metrics.add_honest_n metrics
+                          ~count:(List.length dsts) ~bits_each:(bits_of s m);
+                        List.iter
+                          (fun dst ->
+                            if find_slot dst < 0 then bad_dst src dst;
+                            tap_send ~src ~dst m)
+                          dsts
+                    | Unicast [] -> ()
+                    | Unicast ((_, m0) :: _ as l) ->
+                        let b0 = M.bits m0 in
+                        List.iter
+                          (fun (dst, msg) ->
+                            Metrics.add_honest metrics
+                              ~bits:(if msg == m0 then b0 else M.bits msg);
+                            if find_slot dst < 0 then bad_dst src dst;
+                            tap_send ~src ~dst msg)
+                          l
+                    | Sized { dsts; msgs; sizes; len } ->
+                        for j = 0 to len - 1 do
+                          Metrics.add_honest metrics ~bits:sizes.(j);
+                          let dst = dsts.(j) in
+                          if find_slot dst < 0 then bad_dst src dst;
+                          tap_send ~src ~dst msgs.(j)
+                        done))
+            | Dead _ when pre_envs.(s) <> None ->
+                (* The mid-send filter was already applied (phase 1):
+                   everything left goes out. *)
+                List.iter
+                  (fun (e : envelope) ->
+                    Metrics.add_honest metrics ~bits:(bits_of s e.msg);
+                    if find_slot e.dst < 0 then bad_dst e.src e.dst;
+                    tap_env e)
+                  (Option.get pre_envs.(s))
+            | Running (Done _) | Finished _ | Dead _ -> ())
+          order
+      in
+      (* No-tap mode: the billing (and validation) fold over the senders
+         this shard owns. [bits_of] memoizes per sender slot, so the
+         memo entries a shard touches are exactly its own range. *)
+      let bill_shard k lo hi =
+        let msgs = ref 0 and bits = ref 0 in
+        for s = lo to hi - 1 do
+          match states.(s) with
+          | Running (Yield (out, _)) -> (
+              match pre_envs.(s) with
+              | Some envs -> (
+                  match out with
+                  | Broadcast m ->
+                      msgs := !msgs + n;
+                      bits := !bits + (n * bits_of s m)
+                  | Multisend (_, m) ->
+                      let c = List.length envs in
+                      msgs := !msgs + c;
+                      bits := !bits + (c * bits_of s m);
+                      List.iter
+                        (fun (e : envelope) ->
+                          if find_slot e.dst < 0 then bad_dst e.src e.dst)
+                        envs
+                  | Unicast _ -> (
+                      match envs with
+                      | [] -> ()
+                      | e0 :: _ ->
+                          let m0 = e0.msg in
+                          let b0 = M.bits m0 in
+                          List.iter
+                            (fun (e : envelope) ->
+                              incr msgs;
+                              bits :=
+                                !bits
+                                + (if e.msg == m0 then b0 else M.bits e.msg);
+                              if find_slot e.dst < 0 then
+                                bad_dst e.src e.dst)
+                            envs)
+                  | Sized { sizes; _ } ->
+                      List.iteri
+                        (fun j (e : envelope) ->
+                          incr msgs;
+                          bits := !bits + sizes.(j);
+                          if find_slot e.dst < 0 then bad_dst e.src e.dst)
+                        envs)
+              | None -> (
+                  let src = ids.(s) in
+                  match out with
+                  | Broadcast m ->
+                      msgs := !msgs + n;
+                      bits := !bits + (n * bits_of s m)
+                  | Multisend (dsts, m) ->
+                      let c = List.length dsts in
+                      msgs := !msgs + c;
+                      bits := !bits + (c * bits_of s m);
+                      List.iter
+                        (fun dst ->
+                          if find_slot dst < 0 then bad_dst src dst)
+                        dsts
+                  | Unicast [] -> ()
+                  | Unicast ((_, m0) :: _ as l) ->
+                      let b0 = M.bits m0 in
+                      List.iter
+                        (fun (dst, msg) ->
+                          incr msgs;
+                          bits :=
+                            !bits + (if msg == m0 then b0 else M.bits msg);
+                          if find_slot dst < 0 then bad_dst src dst)
+                        l
+                  | Sized { dsts; sizes; len; _ } ->
+                      for j = 0 to len - 1 do
+                        incr msgs;
+                        bits := !bits + sizes.(j);
+                        if find_slot dsts.(j) < 0 then bad_dst src dsts.(j)
+                      done))
+          | Dead _ when pre_envs.(s) <> None ->
+              List.iter
+                (fun (e : envelope) ->
+                  incr msgs;
+                  bits := !bits + bits_of s e.msg;
+                  if find_slot e.dst < 0 then bad_dst e.src e.dst)
+                (Option.get pre_envs.(s))
+          | Byz_node | Running (Done _) | Finished _ | Dead _ -> ()
+        done;
+        bill_msgs.(k) <- !msgs;
+        bill_bits.(k) <- !bits
+      in
+      let deliver_shard k lo hi =
+        sh_lens.(k) <- 0;
+        Array.iter
+          (fun s ->
+            match states.(s) with
+            | Byz_node ->
+                let src = ids.(s) in
+                List.iter
+                  (fun (dst, msg) -> push_owned lo hi (find_slot dst) src msg)
+                  byz_out.(s)
+            | Running (Yield (out, _)) -> (
+                match pre_envs.(s) with
+                | Some envs -> (
+                    match out with
+                    | Broadcast _ ->
+                        (* Materialized in [ids] order: position = slot. *)
+                        List.iteri
+                          (fun d (e : envelope) ->
+                            push_owned lo hi d e.src e.msg)
+                          envs
+                    | Multisend _ | Unicast _ | Sized _ ->
+                        List.iter
+                          (fun (e : envelope) ->
+                            push_owned lo hi (find_slot e.dst) e.src e.msg)
+                          envs)
+                | None -> (
+                    let src = ids.(s) in
+                    match out with
+                    | Broadcast m -> shard_push k src m
+                    | Multisend (dsts, m) ->
+                        List.iter
+                          (fun dst -> push_owned lo hi (find_slot dst) src m)
+                          dsts
+                    | Unicast l ->
+                        List.iter
+                          (fun (dst, msg) ->
+                            push_owned lo hi (find_slot dst) src msg)
+                          l
+                    | Sized { dsts; msgs; len; _ } ->
+                        for j = 0 to len - 1 do
+                          push_owned lo hi (find_slot dsts.(j)) src msgs.(j)
+                        done))
+            | Dead _ when pre_envs.(s) <> None ->
+                List.iter
+                  (fun (e : envelope) ->
+                    push_owned lo hi (find_slot e.dst) e.src e.msg)
+                  (Option.get pre_envs.(s))
+            | Running (Done _) | Finished _ | Dead _ -> ())
+          order
+      in
+      let phase_a k =
+        let lo, hi = ranges.(k) in
+        if not tap_present then bill_shard k lo hi;
+        deliver_shard k lo hi
+      in
+      let phase_b k =
+        let lo, hi = ranges.(k) in
+        let cur_src = sh_srcs.(k) and cur_msg = sh_msgs.(k) in
+        let cur_len = sh_lens.(k) in
+        for s = lo to hi - 1 do
+          match states.(s) with
+          | Running _ | Byz_node ->
+              let v = views.(s) in
+              v.s_src <- cur_src;
+              v.s_msg <- cur_msg;
+              v.s_len <- cur_len
+          | Finished _ | Dead _ -> ()
+        done;
+        for s = lo to hi - 1 do
+          if is_byz.(s) then byz_prev_inbox.(s) <- Inbox.to_list views.(s)
+        done;
+        let dec = ref [] in
+        let fin = ref 0 in
+        for s = lo to hi - 1 do
+          match states.(s) with
+          | Running (Yield (_, kont)) ->
+              states.(s) <-
+                (match Effect.Deep.continue kont views.(s) with
+                | Done r ->
+                    incr fin;
+                    dec := s :: !dec;
+                    Finished r
+                | step -> Running step)
+          | Running (Done _) | Finished _ | Dead _ | Byz_node -> ()
+        done;
+        for s = lo to hi - 1 do
+          let v = views.(s) in
+          v.d_len <- 0;
+          v.s_len <- 0
+        done;
+        decided.(k) <- List.rev !dec;
+        finished_counts.(k) <- !fin
+      in
+      let rec go () =
+        if !running_count = 0 then ()
+        else if !current_round >= max_rounds then
+          raise (Max_rounds_exceeded max_rounds)
+        else begin
+          let round_no = !current_round in
+          (* 1. Byzantine traffic: billing and the misaddressed-drop
+             count both settle here, so the shards only deliver. *)
+          Array.iter
+            (fun s ->
+              let out =
+                byz_strategy ~byz_id:ids.(s) ~round:round_no
+                  ~inbox:byz_prev_inbox.(s)
+              in
+              List.iter
+                (fun (dst, msg) ->
+                  Metrics.add_byz metrics ~bits:(bits_of s msg);
+                  if find_slot dst < 0 then
+                    Metrics.record_byz_misaddressed metrics)
+                out;
+              byz_out.(s) <- out)
+            byz_slots;
+          (* 2. Crash orders, then each victim's mid-send filter applied
+             exactly once, in the sequential per-envelope order (the
+             filter closures may consume an rng stream per call). *)
+          let victim_filter = apply_crash_orders round_no in
+          if crash_active then
+            Array.iter
+              (fun s ->
+                match states.(s) with
+                | Dead _ when pre_envs.(s) <> None ->
+                    let keep =
+                      Option.value victim_filter.(s)
+                        ~default:(fun _ -> true)
+                    in
+                    pre_envs.(s) <-
+                      Some (List.filter keep (Option.get pre_envs.(s)))
+                | _ -> ())
+              order;
+          (* 3. Transmit. *)
+          if tap_present then bill_and_tap_main ();
+          Repro_util.Domain_pool.run pool phase_a;
+          if not tap_present then
+            for k = 0 to pool_shards - 1 do
+              Metrics.add_honest_bulk metrics ~msgs:bill_msgs.(k)
+                ~bits:bill_bits.(k)
+            done;
+          Metrics.end_round metrics;
+          incr current_round;
+          if crash_active then Array.fill pre_envs 0 n None;
+          Array.iter (fun s -> byz_out.(s) <- []) byz_slots;
+          (* 4. Install + resume; hooks fire below, on this domain, in
+             ascending slot order like the sequential loop. *)
+          Repro_util.Domain_pool.run pool phase_b;
+          for k = 0 to pool_shards - 1 do
+            List.iter
+              (fun s -> note_decide ~round:round_no ids.(s))
+              decided.(k);
+            running_count := !running_count - finished_counts.(k)
+          done;
+          note_round_end ~round:round_no;
+          go ()
+        end
+      in
+      go ()
+    in
+    (if pool_shards <= 1 then loop ()
+     else Repro_util.Domain_pool.with_pool ~shards:pool_shards loop_sharded);
     let outcomes =
       List.init n (fun s ->
           ( ids.(s),

@@ -216,12 +216,26 @@ module Make (M : MSG) : sig
     ?on_round_end:(round:int -> Metrics.t -> unit) ->
     ?max_rounds:int ->
     ?seed:int ->
+    ?shards:int ->
     program:(ctx -> 'r) ->
     unit ->
     'r run_result
   (** Runs one synchronous execution. [ids] are the distinct original
       identities; every identity in [byz] must occur in [ids]. The run is
       deterministic given ([ids], adversaries, [seed]).
+
+      [shards] splits each round's transmit and resume phases across
+      OCaml domains: recipient slots are partitioned into contiguous
+      ranges ([Repro_util.Shard]) and a reusable pool
+      ([Repro_util.Domain_pool]) runs one barrier per phase. Sharding is
+      pure mechanism — results are {e bit-identical} for every shard
+      count: assignments, metrics (including per-round rows), crash
+      billing and the run-trace/tap event streams all match the
+      sequential execution exactly ([test/test_shard.ml] pins this
+      across algorithms, fault schedules and shard counts). [1] (and any
+      [n <= 1]) selects the sequential loop — no pool, no domains.
+      Defaults to the [RENAMING_SHARDS] environment variable, else [1].
+      @raise Invalid_argument if [shards < 1].
 
       [tap] observes every envelope handed to the network (after the
       crash adversary's mid-send filter), including envelopes addressed

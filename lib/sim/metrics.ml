@@ -59,6 +59,16 @@ let add_honest_n t ~count ~bits_each =
   t.cur_hmsgs <- t.cur_hmsgs + count;
   t.cur_hbits <- t.cur_hbits + (count * bits_each)
 
+(* Merge of per-shard partial sums (sharded delivery): counts and bits
+   were accumulated per shard and are folded into the round in shard
+   order — sums commute, so the totals and the per-round row are
+   byte-identical to sequential accounting. *)
+let add_honest_bulk t ~msgs ~bits =
+  t.honest_messages <- t.honest_messages + msgs;
+  t.honest_bits <- t.honest_bits + bits;
+  t.cur_hmsgs <- t.cur_hmsgs + msgs;
+  t.cur_hbits <- t.cur_hbits + bits
+
 let add_byz t ~bits =
   t.byz_messages <- t.byz_messages + 1;
   t.byz_bits <- t.byz_bits + bits;

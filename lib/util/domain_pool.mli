@@ -1,0 +1,36 @@
+(** Reusable fixed-size domain pool with a barrier per job.
+
+    Built for the sharded engine's per-round parallel phases: worker
+    domains are spawned once at {!create} and re-dispatched by every
+    {!run} — a barrier per {e round}, not a spawn per round. The caller's
+    own domain executes shard [0], so a 1-shard pool runs the job inline
+    with no synchronization and no domains at all.
+
+    Memory-ordering contract: writes made by the caller before {!run}
+    are visible to every shard during the job; writes made by shards
+    during the job are visible to the caller once {!run} returns. Which
+    domain runs which shard index is fixed for the pool's lifetime, so
+    per-shard mutable working sets are only ever touched from one
+    domain. *)
+
+type t
+
+val create : shards:int -> t
+(** Spawn a pool of [shards] shards ([shards - 1] worker domains).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val shards : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f k] exactly once for every shard index
+    [k ∈ \[0, shards)], in parallel, and returns once all have finished.
+    Exceptions inside [f] are caught per shard; after the barrier the
+    one from the lowest shard index is re-raised (the pool remains
+    usable). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Calling {!run} after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : shards:int -> (t -> 'a) -> 'a
+(** [create], run [f], and {!shutdown} even if [f] raises. *)

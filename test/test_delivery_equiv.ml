@@ -34,11 +34,13 @@ let fallback = E.Committee_killer 0
 let crash_protocols =
   [ E.This_work_crash; E.Halving_baseline; E.Flooding_baseline ]
 
-let run_traced ~protocol ~adversary =
+let run_traced ?shards ~protocol ~adversary () =
   let t =
     Trace.create ~meta:[ ("algo", `Str (E.crash_protocol_name protocol)) ] ()
   in
-  let a = E.run_crash ~trace:t ~protocol ~n ~namespace ~adversary ~seed () in
+  let a =
+    E.run_crash ?shards ~trace:t ~protocol ~n ~namespace ~adversary ~seed ()
+  in
   (Trace.contents t, a)
 
 let summary_text name contents =
@@ -70,8 +72,8 @@ let test_traces_byte_identical () =
   List.iter
     (fun protocol ->
       let name = E.crash_protocol_name protocol in
-      let tr_fast, a_fast = run_traced ~protocol ~adversary:fast in
-      let tr_fb, a_fb = run_traced ~protocol ~adversary:fallback in
+      let tr_fast, a_fast = run_traced ~protocol ~adversary:fast () in
+      let tr_fb, a_fb = run_traced ~protocol ~adversary:fallback () in
       Alcotest.(check string) (name ^ ": trace bytes") tr_fast tr_fb;
       Alcotest.(check string)
         (name ^ ": trace_cli summary text")
@@ -91,7 +93,7 @@ let test_tap_does_not_perturb () =
           let plain =
             E.run_crash ~protocol ~n ~namespace ~adversary ~seed ()
           in
-          let _, traced = run_traced ~protocol ~adversary in
+          let _, traced = run_traced ~protocol ~adversary () in
           check_same_assessment
             (Printf.sprintf "%s (%s, tap on/off)" name variant)
             plain traced)
@@ -130,6 +132,25 @@ let test_metrics_reconcile_both_paths () =
     (fun () -> FR.run ~ids ~crash:FR.Net.Crash.none ~seed ())
     (fun () -> FR.run ~ids ~crash:(fun _ -> []) ~seed ())
 
+(* Sharding composes with both delivery machineries: splitting the
+   round across domains must not perturb either the fast path (no
+   adversary, shared broadcast structure) or the materialized-envelope
+   fallback (armed crash observer). Trace bytes are the strictest
+   equality we have, so compare those across shard counts per path. *)
+let test_sharded_paths_byte_identical () =
+  List.iter
+    (fun protocol ->
+      let name = E.crash_protocol_name protocol in
+      List.iter
+        (fun (variant, adversary) ->
+          let tr1, a1 = run_traced ~shards:1 ~protocol ~adversary () in
+          let tr4, a4 = run_traced ~shards:4 ~protocol ~adversary () in
+          let tag = Printf.sprintf "%s (%s, shards 1 vs 4)" name variant in
+          Alcotest.(check string) (tag ^ ": trace bytes") tr1 tr4;
+          check_same_assessment tag a1 a4)
+        [ ("fast", fast); ("fallback", fallback) ])
+    crash_protocols
+
 (* The Byzantine algorithm: no crash adversary, but Byzantine inboxes
    are the third sanctioned materialization point; a traced (tap armed)
    and an untraced run must agree, and the trace must reconcile. *)
@@ -155,6 +176,8 @@ let suite =
         test_tap_does_not_perturb;
       Alcotest.test_case "Metrics.reconcile on both paths" `Quick
         test_metrics_reconcile_both_paths;
+      Alcotest.test_case "sharding preserves both paths byte-for-byte"
+        `Quick test_sharded_paths_byte_identical;
       Alcotest.test_case "byzantine: tap on/off equivalence" `Quick
         test_byzantine_tap_equivalence;
     ] )

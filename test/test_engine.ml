@@ -179,19 +179,28 @@ let test_determinism () =
 (* Same-seed executions must be indistinguishable down to every inbox of
    every node in every round — not just final outcomes. The program mixes
    all three outbox shapes, a mid-send crash adversary and a Byzantine
-   node, so the trace crosses each delivery path of the engine. *)
+   node, so the trace crosses each delivery path of the engine. The
+   recorder accumulates per node (one cell per slot, merged after the
+   run): node programs may run on different domains under [?shards], so
+   anything they mutate must be node-local — a single shared list here
+   would be both racy and order-scrambled. *)
 let test_recorded_trace_equality () =
   let ids = [| 3; 7; 11; 19; 23; 42 |] in
   let record () =
-    let trace = ref [] in
+    let per_node = Array.make (Array.length ids) [] in
+    let slot id =
+      let rec find i = if ids.(i) = id then i else find (i + 1) in
+      find 0
+    in
     let note round id inbox =
-      trace :=
+      let s = slot id in
+      per_node.(s) <-
         ( round,
           id,
           List.map
             (fun (e : Net.envelope) -> (e.src, e.dst, e.msg))
             (Net.Inbox.to_list inbox) )
-        :: !trace
+        :: per_node.(s)
     in
     let program ctx =
       let id = Net.my_id ctx in
@@ -222,7 +231,10 @@ let test_recorded_trace_equality () =
     let res =
       Net.run ~ids ~byz:([ 23 ], strategy) ~crash ~seed:123 ~program ()
     in
-    (!trace, res.outcomes, Metrics.messages_by_round res.metrics)
+    let trace =
+      Array.to_list per_node |> List.concat_map List.rev
+    in
+    (trace, res.outcomes, Metrics.messages_by_round res.metrics)
   in
   let t1, o1, m1 = record () and t2, o2, m2 = record () in
   Alcotest.(check bool) "identical traces" true (t1 = t2);
@@ -270,9 +282,12 @@ let qcheck_fuzz =
     (fun (n, rounds, seed) ->
       let ids = Array.init n (fun i -> (i * 3) + 1) in
       let run () =
-        let sent = ref 0 in
+        (* Send counts accumulate per node (programs may run on
+           different domains under [?shards]); summed after the run. *)
+        let sent = Array.make n 0 in
         let program ctx =
           let rng = Net.rng ctx in
+          let me = (Net.my_id ctx - 1) / 3 in
           let ok = ref true in
           for _ = 1 to rounds do
             let out =
@@ -280,7 +295,7 @@ let qcheck_fuzz =
               |> List.filter (fun _ -> Repro_util.Rng.bool rng)
               |> List.map (fun dst -> (dst, M.Ping (Net.my_id ctx)))
             in
-            sent := !sent + List.length out;
+            sent.(me) <- sent.(me) + List.length out;
             let inbox = Net.exchange ctx out in
             let srcs = List.map fst (Net.Inbox.pairs inbox) in
             if List.sort Int.compare srcs <> srcs then ok := false;
@@ -292,7 +307,7 @@ let qcheck_fuzz =
           !ok
         in
         let res = Net.run ~ids ~seed ~program () in
-        (res, !sent)
+        (res, Array.fold_left ( + ) 0 sent)
       in
       let res1, sent1 = run () in
       let res2, sent2 = run () in

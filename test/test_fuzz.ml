@@ -147,6 +147,50 @@ let test_byz_domains_invariance () =
         "same verdict" true (a.verdict = b.verdict))
     r1 r4
 
+(* {2 Metamorphic: shard-count invariance} *)
+
+(* The intra-round sharding knob must be invisible to the fuzzing
+   stack: a corpus replay's full printable document (schedule text +
+   envelope trace + assessment + verdict) and a campaign's report list
+   are byte-identical whether each run executes on one domain or
+   several. *)
+let test_shards_replay_invariance () =
+  List.iter
+    (fun name ->
+      match Schedule.of_file (corpus_file name) with
+      | Error m -> Alcotest.failf "cannot load %s: %s" name m
+      | Ok s ->
+          let doc1, v1 = Fuzzer.replay ~shards:1 s in
+          List.iter
+            (fun shards ->
+              let doc, v = Fuzzer.replay ~shards s in
+              Alcotest.(check string)
+                (Printf.sprintf "%s: replay doc [shards=%d]" name shards)
+                doc1 doc;
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s: verdict [shards=%d]" name shards)
+                v1.Oracle.violations v.Oracle.violations)
+            [ 2; 4; 7 ])
+    [ "crash_mid_send.sched"; "byz_mixed.sched" ]
+
+let test_shards_campaign_invariance () =
+  let campaign shards =
+    Fuzzer.campaign ~domains:1 ~shards
+      (Fuzzer.default_config ~n:16 ~trials:8 ~seed:11 ())
+  in
+  let r1 = campaign 1 and r4 = campaign 4 in
+  Alcotest.(check int) "same length" (List.length r1) (List.length r4);
+  List.iter2
+    (fun (a : Fuzzer.report) (b : Fuzzer.report) ->
+      Alcotest.(check int) "trial order" a.index b.index;
+      Alcotest.check schedule "same schedule" a.schedule b.schedule;
+      Alcotest.(check (list string))
+        "same verdict" a.verdict.Oracle.violations b.verdict.Oracle.violations;
+      Alcotest.(check bool)
+        "same assessment" true
+        (a.verdict.Oracle.assessment = b.verdict.Oracle.assessment))
+    r1 r4
+
 (* {2 Live mini-campaigns} *)
 
 let test_crash_campaign_green () =
@@ -269,6 +313,10 @@ let suite =
         test_domains_invariance;
       Alcotest.test_case "byz campaign domains 1 = 4" `Quick
         test_byz_domains_invariance;
+      Alcotest.test_case "corpus replay shards 1 = 2 = 4 = 7" `Quick
+        test_shards_replay_invariance;
+      Alcotest.test_case "campaign shards 1 = 4" `Quick
+        test_shards_campaign_invariance;
       Alcotest.test_case "crash mini-campaign green" `Quick
         test_crash_campaign_green;
       Alcotest.test_case "byz mini-campaign green" `Quick

@@ -280,6 +280,23 @@ let test_d4_size_cache () =
   Alcotest.(check int) "clean outside domain-shared dirs" 0
     (List.length findings)
 
+(* The sharded engine's working state: a global domain pool or a global
+   broadcast table would be D4 under lib/sim — which is why the pool,
+   the per-shard scratch and the billing sums all live inside
+   [Engine.run]. The fixture holds the rejected globals (one of them
+   allow-annotated), plus the chosen per-run shapes. *)
+let test_d4_shard_shapes () =
+  let source = read (fixture "d4_shard.ml") in
+  let findings, suppressed =
+    Lint.lint_string ~filename:"lib/sim/d4_shard.ml" source
+  in
+  Alcotest.(check int) "the two globals fire" 2 (List.length findings);
+  Alcotest.(check (list string)) "both D4" [ "D4" ] (rules_of findings);
+  Alcotest.(check int) "annotated global suppressed" 1 suppressed;
+  let findings, _ = Lint.lint_file (fixture "d4_shard.ml") in
+  Alcotest.(check int) "clean outside domain-shared dirs" 0
+    (List.length findings)
+
 let suite =
   ( "lint",
     [
@@ -289,6 +306,8 @@ let suite =
       Alcotest.test_case "D4 fixtures + path scoping" `Quick test_d4;
       Alcotest.test_case "D4 size-cache route (engine fast path)" `Quick
         test_d4_size_cache;
+      Alcotest.test_case "D4 shard-state routes (pool + broadcast table)"
+        `Quick test_d4_shard_shapes;
       Alcotest.test_case "D5 fixtures" `Quick test_d5;
       Alcotest.test_case "D1 path exemptions" `Quick test_d1_path_exemptions;
       Alcotest.test_case "parse error is E0" `Quick test_parse_error_is_e0;
