@@ -220,10 +220,21 @@ let () =
   let mode = ref `Full and out = ref "BENCH_shard.json" in
   let check = ref None and tolerance = ref 0.25 in
   let require_speedup = ref false in
+  let only_n = ref None and only_shards = ref None in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
         mode := `Smoke;
+        parse rest
+    | "--only" :: n :: rest ->
+        (* Restrict the sweep to one n (probing a single scale without
+           paying for the whole matrix). *)
+        only_n := Some (int_of_string n);
+        parse rest
+    | "--shards" :: l :: rest ->
+        (* Comma-separated shard counts, e.g. --shards 1,4. *)
+        only_shards :=
+          Some (List.map int_of_string (String.split_on_char ',' l));
         parse rest
     | "--out" :: f :: rest ->
         out := f;
@@ -240,11 +251,18 @@ let () =
     | a :: _ -> invalid_arg ("shard_bench: unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let shard_counts = [ 1; 2; 4 ] in
+  let shard_counts =
+    match !only_shards with Some l -> l | None -> [ 1; 2; 4 ]
+  in
   let configs =
     match !mode with
     | `Smoke -> [ (256, 3) ]
     | `Full -> [ (8192, 2); (32768, 1); (131072, 1) ]
+  in
+  let configs =
+    match !only_n with
+    | None -> configs
+    | Some n -> List.filter (fun (n', _) -> n' = n) configs
   in
   let ms =
     List.concat_map

@@ -1,0 +1,465 @@
+(* Multi-process driver for the socket network backend: the same node
+   programs the simulator runs, executed across OS processes against the
+   [Repro_net.Socket_net] coordinator.
+
+     net_node coord --algo crash -n 64 --hosts 4 --port 7421
+     net_node node  --algo crash --connect 127.0.0.1:7421 --host-index 2
+     net_node local --algo crash -n 64 --hosts 4 --check-sim
+
+   [local] is the single-machine form: it binds an ephemeral port, forks
+   the host processes itself and runs the coordinator in the parent —
+   the E12 experiment and the CI smoke stage use it. *)
+
+module CR = Repro_renaming.Crash_renaming
+module BZ = Repro_renaming.Byzantine_renaming
+module FL = Repro_renaming.Flooding_renaming
+module HV = Repro_renaming.Halving_renaming
+module Runner = Repro_renaming.Runner
+module E = Repro_renaming.Experiment
+module Oracle = Repro_check.Oracle
+module Fuzzer = Repro_check.Fuzzer
+module SN = Repro_net.Socket_net
+module Ilog = Repro_util.Ilog
+open Cmdliner
+
+type algo = Crash | Halving | Flooding | Byz
+
+let algo_name = function
+  | Crash -> "crash"
+  | Halving -> "halving"
+  | Flooding -> "flooding"
+  | Byz -> "byz"
+
+(* {2 Host side: instantiate the transport at the protocol's message
+   type and apply its [Make_node] functor.} *)
+
+let node_main ~algo ~fd ~host_index =
+  match algo with
+  | Crash ->
+      let module H = SN.Host (CR.Msg) in
+      let module P = CR.Make_node (H) in
+      H.run ~fd ~host_index ~program:(fun ~extra:_ ctx ->
+          P.program CR.experiment_params ctx)
+  | Halving ->
+      let module H = SN.Host (CR.Msg) in
+      let module P = HV.Make_node (H) in
+      H.run ~fd ~host_index ~program:(fun ~extra:_ ctx -> P.program ctx)
+  | Flooding ->
+      let module H = SN.Host (FL.Msg) in
+      let module P = FL.Make_node (H) in
+      H.run ~fd ~host_index ~program:(fun ~extra ctx ->
+          let f = int_of_string (String.trim extra) in
+          P.program { FL.rounds = `Tolerate f } ctx)
+  | Byz ->
+      let module H = SN.Host (BZ.Msg) in
+      let module P = BZ.Make_node (H) in
+      H.run ~fd ~host_index ~program:(fun ~extra ctx ->
+          let namespace, shared_seed =
+            Scanf.sscanf extra " %d %d" (fun a b -> (a, b))
+          in
+          P.program (BZ.default_params ~namespace ~shared_seed) ctx)
+
+(* The coordinator never decodes payloads, so the application-level
+   parameters ride to every host in the opaque handshake blob; only the
+   coordinator's command line chooses them. *)
+let extra_of ~algo ~namespace ~seed ~faults =
+  match algo with
+  | Crash | Halving -> ""
+  | Flooding -> string_of_int faults
+  | Byz -> Printf.sprintf "%d %d" namespace seed
+
+(* {2 Assessment: the same oracles the fuzzer applies, with fault-free
+   theorem-shaped expectations.} *)
+
+let expectations ~algo ~n ~namespace ~max_rounds : Oracle.expectations =
+  let lg = Ilog.ceil_log2 (max 2 n) in
+  match algo with
+  | Crash | Halving ->
+      {
+        round_bound = Fuzzer.crash_round_bound ~n;
+        target = n;
+        max_faults = 0;
+        (* the fuzzer's fault-free crash budget; [Halving] is all-to-all,
+           so scale by the committee blow-up n / log n *)
+        bit_budget =
+          Fuzzer.crash_bit_budget ~n ~namespace ~f:0
+          * (match algo with Halving -> max 1 (n / max 1 lg) | _ -> 1);
+        max_msg_bits = Fuzzer.crash_max_msg_bits ~n ~namespace;
+        order_preserving = false;
+      }
+  | Flooding ->
+      (* The baseline's whole point is Ω(n log N)-bit messages: no
+         per-message or total-bit claim to enforce. *)
+      {
+        round_bound = max_rounds;
+        target = n;
+        max_faults = 0;
+        bit_budget = max_int;
+        max_msg_bits = max_int;
+        order_preserving = true;
+      }
+  | Byz ->
+      {
+        round_bound = Fuzzer.byz_round_bound;
+        target = n;
+        max_faults = 0;
+        bit_budget = Fuzzer.byz_bit_budget ~n ~namespace ~f:0;
+        max_msg_bits = Fuzzer.byz_max_msg_bits ~namespace;
+        order_preserving = true;
+      }
+
+let write_links_json path ~algo ~n ~n_hosts ~seed (res : SN.result) =
+  let oc = open_out path in
+  let a = Runner.assess res.SN.run in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"net-links/v1\",\n  \"algo\": %S,\n  \"n\": %d,\n\
+    \  \"n_hosts\": %d,\n  \"seed\": %d,\n  \"rounds\": %d,\n\
+    \  \"messages\": %d,\n  \"bits\": %d,\n  \"links\": [" (algo_name algo)
+    n n_hosts seed res.SN.rounds a.Runner.messages a.Runner.bits;
+  let first = ref true in
+  let { SN.link_msgs; link_bits } = res.SN.links in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if link_msgs.(src).(dst) > 0 then begin
+        if not !first then output_string oc ",";
+        first := false;
+        Printf.fprintf oc
+          "\n    { \"src\": %d, \"dst\": %d, \"msgs\": %d, \"bits\": %d }"
+          src dst
+          link_msgs.(src).(dst)
+          link_bits.(src).(dst)
+      end
+    done
+  done;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc
+
+(* In-process reference run with identical inputs: a fault-free socket
+   execution must reproduce its assignments and accounting exactly. *)
+let sim_assessment ~algo ~namespace ~seed ~faults ~ids =
+  match algo with
+  | Crash -> Runner.assess (CR.run ~ids ~seed ())
+  | Halving -> Runner.assess (HV.run ~ids ~seed ())
+  | Flooding ->
+      Runner.assess
+        (FL.run ~params:{ FL.rounds = `Tolerate faults } ~ids ~seed ())
+  | Byz ->
+      Runner.assess
+        (BZ.run
+           ~params:(BZ.default_params ~namespace ~shared_seed:seed)
+           ~ids ~seed ())
+
+let compare_with_sim ~algo ~namespace ~seed ~faults ~ids
+    (socket_a : Runner.assessment) =
+  let sim = sim_assessment ~algo ~namespace ~seed ~faults ~ids in
+  let mismatches = ref [] in
+  let check name pp a b =
+    if a <> b then
+      mismatches :=
+        Printf.sprintf "%s: socket %s, sim %s" name (pp a) (pp b)
+        :: !mismatches
+  in
+  check "assignments"
+    (fun l ->
+      String.concat ";"
+        (List.map (fun (o, v) -> Printf.sprintf "%d->%d" o v) l))
+    socket_a.Runner.assignments sim.Runner.assignments;
+  check "messages" string_of_int socket_a.Runner.messages sim.Runner.messages;
+  check "bits" string_of_int socket_a.Runner.bits sim.Runner.bits;
+  check "rounds" string_of_int socket_a.Runner.rounds sim.Runner.rounds;
+  List.rev !mismatches
+
+let report ~algo ~n ~namespace ~n_hosts ~seed ~faults ~max_rounds ~bits_out
+    ~check_sim ~ids ~stats (res : SN.result) =
+  let a = Runner.assess res.SN.run in
+  Format.printf "socket backend: %s over %d hosts@." (algo_name algo) n_hosts;
+  Format.printf "%a@." Runner.pp a;
+  Option.iter
+    (fun path ->
+      write_links_json path ~algo ~n ~n_hosts ~seed res;
+      Format.printf "per-link accounting written to %s@." path)
+    bits_out;
+  let verdict =
+    Oracle.check
+      (expectations ~algo ~n ~namespace ~max_rounds)
+      a res.SN.run.Repro_sim.Engine.metrics stats
+  in
+  List.iter
+    (fun s -> Format.printf "VIOLATION %s@." s)
+    verdict.Oracle.violations;
+  let sim_mismatches =
+    if check_sim then begin
+      let ms = compare_with_sim ~algo ~namespace ~seed ~faults ~ids a in
+      if ms = [] then
+        Format.printf "sim check: socket run matches the simulator exactly@."
+      else List.iter (fun s -> Format.printf "SIM MISMATCH %s@." s) ms;
+      ms
+    end
+    else []
+  in
+  if Oracle.failed verdict || sim_mismatches <> [] then 1 else 0
+
+(* {2 Sockets and process plumbing} *)
+
+let listen_on ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  let actual =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, actual)
+
+let connect_to ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  fd
+
+let make_config ~algo ~n ~namespace ~n_hosts ~seed ~faults =
+  let ids = E.random_ids ~seed ~namespace ~n in
+  ( ids,
+    {
+      SN.ids;
+      seed;
+      n_hosts;
+      extra = extra_of ~algo ~namespace ~seed ~faults;
+    } )
+
+let serve_and_report ~listen ~algo ~n ~namespace ~n_hosts ~seed ~faults
+    ~latency_ms ~jitter_ms ~overlay_fanout ~max_rounds ~bits_out ~check_sim
+    ~ids ~config =
+  let stats = Oracle.new_stats () in
+  (* The transport enforces the codec round-trip (hosts reject any
+     undecodable delivery), so every billed message is wire-ok here. *)
+  let on_message ~src:_ ~dst:_ ~bits =
+    Oracle.observe_honest stats ~bits ~wire_ok:true
+  in
+  let res =
+    SN.serve ~listen ~config
+      ~latency_s:(float_of_int latency_ms /. 1000.)
+      ~jitter_s:(float_of_int jitter_ms /. 1000.)
+      ?overlay_fanout ~max_rounds ~on_message ()
+  in
+  (* Overlay billing inflates honest traffic relative to the in-process
+     reference; the oracle's exact tapped-vs-billed and budget checks
+     only apply to the mesh cost model. *)
+  let check_sim = check_sim && overlay_fanout = None in
+  report ~algo ~n ~namespace ~n_hosts ~seed ~faults ~max_rounds ~bits_out
+    ~check_sim ~ids ~stats res
+
+(* {2 Commands} *)
+
+let algo_arg =
+  let algo_conv =
+    Arg.enum
+      [
+        ("crash", Crash);
+        ("halving", Halving);
+        ("flooding", Flooding);
+        ("byz", Byz);
+      ]
+  in
+  Arg.(
+    value & opt algo_conv Crash
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Protocol: $(b,crash), $(b,halving), $(b,flooding), $(b,byz).")
+
+let n_arg =
+  Arg.(
+    value & opt int 64 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let namespace_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "N"; "namespace" ] ~docv:"NS"
+        ~doc:"Original namespace size (default: 64·n).")
+
+let hosts_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "hosts" ] ~docv:"H" ~doc:"Number of host processes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let faults_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "f"; "faults" ] ~docv:"F"
+        ~doc:"Fault tolerance parameter (flooding round count).")
+
+let port_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port on 127.0.0.1 (0 picks an ephemeral port).")
+
+let latency_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "latency-ms" ] ~docv:"MS"
+        ~doc:
+          "Sleep this long before each round's replies — models link \
+           latency; never affects results.")
+
+let jitter_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jitter-ms" ] ~docv:"MS"
+        ~doc:
+          "Add a seed-deterministic uniform [0, $(docv)) to each round's \
+           latency.")
+
+let overlay_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "overlay-fanout" ] ~docv:"K"
+        ~doc:
+          "Bill broadcasts along a seed-deterministic gossip overlay of \
+           this fan-out instead of the full mesh (delivery stays \
+           complete; only the cost model changes).")
+
+let max_rounds_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "max-rounds" ] ~docv:"R" ~doc:"Deadlock guard.")
+
+let bits_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bits-out" ] ~docv:"FILE"
+        ~doc:"Write per-link message/bit accounting as JSON to $(docv).")
+
+let check_sim_arg =
+  Arg.(
+    value & flag
+    & info [ "check-sim" ]
+        ~doc:
+          "Also run the same configuration in-process on the simulator \
+           and require identical assignments, message count, bit count \
+           and round count.")
+
+let resolve_namespace ~n ~namespace = if namespace = 0 then 64 * n else namespace
+
+let coord_cmd =
+  let run algo n namespace n_hosts seed faults port latency_ms jitter_ms
+      overlay_fanout max_rounds bits_out check_sim =
+    let namespace = resolve_namespace ~n ~namespace in
+    let ids, config =
+      make_config ~algo ~n ~namespace ~n_hosts ~seed ~faults
+    in
+    let listen, port = listen_on ~port in
+    Format.printf "coordinator: %s n=%d hosts=%d on 127.0.0.1:%d@."
+      (algo_name algo) n n_hosts port;
+    Format.print_flush ();
+    serve_and_report ~listen ~algo ~n ~namespace ~n_hosts ~seed ~faults
+      ~latency_ms ~jitter_ms ~overlay_fanout ~max_rounds ~bits_out ~check_sim
+      ~ids ~config
+  in
+  Cmd.v
+    (Cmd.info "coord"
+       ~doc:
+         "Run the coordinator: accept host connections, route rounds, \
+          assess the outcome.")
+    Term.(
+      const run $ algo_arg $ n_arg $ namespace_arg $ hosts_arg $ seed_arg
+      $ faults_arg $ port_arg $ latency_arg $ jitter_arg $ overlay_arg
+      $ max_rounds_arg $ bits_out_arg $ check_sim_arg)
+
+let node_cmd =
+  let connect_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1:7421"
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Coordinator address.")
+  in
+  let index_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "host-index" ] ~docv:"I"
+          ~doc:"This host's index in [0, hosts).")
+  in
+  let run algo connect host_index =
+    let host, port =
+      match String.rindex_opt connect ':' with
+      | Some i ->
+          ( String.sub connect 0 i,
+            int_of_string
+              (String.sub connect (i + 1) (String.length connect - i - 1)) )
+      | None -> ("127.0.0.1", int_of_string connect)
+    in
+    let fd = connect_to ~host ~port in
+    node_main ~algo ~fd ~host_index;
+    0
+  in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:
+         "Run one host process: connect to the coordinator and drive \
+          this host's slice of node fibers. Protocol parameters arrive \
+          from the coordinator at handshake.")
+    Term.(const run $ algo_arg $ connect_arg $ index_arg)
+
+let local_cmd =
+  let run algo n namespace n_hosts seed faults latency_ms jitter_ms
+      overlay_fanout max_rounds bits_out check_sim =
+    let namespace = resolve_namespace ~n ~namespace in
+    let ids, config =
+      make_config ~algo ~n ~namespace ~n_hosts ~seed ~faults
+    in
+    let listen, port = listen_on ~port:0 in
+    let children =
+      Array.init n_hosts (fun h ->
+          match Unix.fork () with
+          | 0 -> (
+              (try Unix.close listen with Unix.Unix_error _ -> ());
+              match
+                node_main ~algo ~fd:(connect_to ~host:"127.0.0.1" ~port)
+                  ~host_index:h
+              with
+              | () -> Unix._exit 0
+              | exception e ->
+                  Printf.eprintf "host %d: %s\n%!" h (Printexc.to_string e);
+                  Unix._exit 1)
+          | pid -> pid)
+    in
+    let code =
+      serve_and_report ~listen ~algo ~n ~namespace ~n_hosts ~seed ~faults
+        ~latency_ms ~jitter_ms ~overlay_fanout ~max_rounds ~bits_out
+        ~check_sim ~ids ~config
+    in
+    let child_failures = ref 0 in
+    Array.iter
+      (fun pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> incr child_failures)
+      children;
+    if !child_failures > 0 then
+      Format.printf "note: %d host processes exited abnormally@."
+        !child_failures;
+    code
+  in
+  Cmd.v
+    (Cmd.info "local"
+       ~doc:
+         "Single-machine run: fork the host processes, run the \
+          coordinator in this one, assess the outcome.")
+    Term.(
+      const run $ algo_arg $ n_arg $ namespace_arg $ hosts_arg $ seed_arg
+      $ faults_arg $ latency_arg $ jitter_arg $ overlay_arg $ max_rounds_arg
+      $ bits_out_arg $ check_sim_arg)
+
+let () =
+  let info =
+    Cmd.info "net_node" ~version:"1.0.0"
+      ~doc:"Multi-process socket backend for the renaming protocols."
+  in
+  exit (Cmd.eval' (Cmd.group info [ coord_cmd; node_cmd; local_cmd ]))

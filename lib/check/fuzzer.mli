@@ -38,6 +38,18 @@ val byz_round_bound : int
 (** Deadlock guard for Byzantine runs (attacks legitimately inflate
     rounds, so there is no tight theorem constant to enforce). *)
 
+val crash_bit_budget : n:int -> namespace:int -> f:int -> int
+val byz_bit_budget : n:int -> namespace:int -> f:int -> int
+(** Theorem-shaped total-bit budgets with deliberately generous
+    constants (see the calibration note in the implementation). Also
+    consumed by [bin/net_node_cli] so the socket backend is judged by
+    exactly the budgets the fuzzer enforces on the engine. *)
+
+val crash_max_msg_bits : n:int -> namespace:int -> int
+val byz_max_msg_bits : namespace:int -> int
+(** Per-message bit caps: the widest honest codeword each protocol's
+    wire format can emit. *)
+
 val crash_expectations : Schedule.t -> Oracle.expectations
 val byz_expectations : Schedule.t -> Oracle.expectations
 

@@ -375,39 +375,6 @@ let plurality_rank sorted_ranks =
   | [] -> None
   | r :: rest -> Option.map fst (go None r 1 rest)
 
-(* Wait for NEW messages from a majority of the committee view, then take
-   the plurality of the non-null ranks. Byzantine members are fewer than
-   half the view, so the threshold can only be crossed once the correct
-   members have genuinely distributed — and among collected values the
-   correct, clean-interval rank (sent by > |B| members, Lemma 3.11) beats
-   any fabricated one. *)
-let collect_new_identity ctx ~view first_inbox =
-  let threshold = (List.length view / 2) + 1 in
-  let seen : (int, int option) Hashtbl.t = Hashtbl.create 16 in
-  let absorb inbox =
-    Net.Inbox.iter inbox ~f:(fun ~src msg ->
-        match msg with
-        | Msg.New v ->
-            if List.mem src view && not (Hashtbl.mem seen src) then
-              Hashtbl.replace seen src v
-        | _ -> ())
-  in
-  let decide () =
-    if Hashtbl.length seen < threshold then None
-    else
-      Hashtbl.fold
-        (fun _ v acc -> match v with Some rank -> rank :: acc | None -> acc)
-        seen []
-      |> List.sort Int.compare |> plurality_rank
-  in
-  let rec go inbox =
-    absorb inbox;
-    match decide () with
-    | Some rank -> rank
-    | None -> go (Net.skip_round ctx)
-  in
-  go first_inbox
-
 type telemetry = {
   on_view : id:int -> view:int list -> unit;
   on_reconciled :
@@ -418,107 +385,150 @@ type telemetry = {
     unit;
 }
 
-let program ?telemetry params ctx =
-  let me = Net.my_id ctx in
-  let n = Net.n ctx in
-  let namespace = params.namespace in
-  let key = Fingerprint.key_of_seed params.shared_seed in
-  (* Stage 1: committee election. *)
-  let elected, view, kings_order =
-    match params.committee with
-    | Everyone ->
-        let ids = List.sort Int.compare (Array.to_list (Net.all_ids ctx)) in
-        let arr = Array.of_list ids in
-        let shared = Repro_util.Rng.of_seed (params.shared_seed lxor 0x4b1) in
-        Repro_util.Rng.shuffle shared arr;
-        ignore (Net.skip_round ctx);
-        (* keep round numbering aligned with Shared_pool *)
-        (true, ids, Array.to_list arr)
-    | Shared_pool ->
-        let pool = pool_of_params params ~n in
-        let elected = Committee_pool.mem pool me in
-        let inbox =
-          if elected then Net.broadcast ctx Msg.Elect else Net.skip_round ctx
-        in
-        let view =
+(* Stages 2-3 node code and the distribution-collection loop, over any
+   network backend satisfying {!Repro_net.Network_intf.S} — the
+   simulator's engine or the multi-process socket transport. *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) =
+struct
+  (* Wait for NEW messages from a majority of the committee view, then take
+     the plurality of the non-null ranks. Byzantine members are fewer than
+     half the view, so the threshold can only be crossed once the correct
+     members have genuinely distributed — and among collected values the
+     correct, clean-interval rank (sent by > |B| members, Lemma 3.11) beats
+     any fabricated one. *)
+  let collect_new_identity ctx ~view first_inbox =
+    let threshold = (List.length view / 2) + 1 in
+    let seen : (int, int option) Hashtbl.t = Hashtbl.create 16 in
+    let absorb inbox =
+      Net.Inbox.iter inbox ~f:(fun ~src msg ->
+          match msg with
+          | Msg.New v ->
+              if List.mem src view && not (Hashtbl.mem seen src) then
+                Hashtbl.replace seen src v
+          | _ -> ())
+    in
+    let decide () =
+      if Hashtbl.length seen < threshold then None
+      else
+        Hashtbl.fold
+          (fun _ v acc -> match v with Some rank -> rank :: acc | None -> acc)
+          seen []
+        |> List.sort Int.compare |> plurality_rank
+    in
+    let rec go inbox =
+      absorb inbox;
+      match decide () with
+      | Some rank -> rank
+      | None -> go (Net.skip_round ctx)
+    in
+    go first_inbox
+
+  let program ?telemetry params ctx =
+    let me = Net.my_id ctx in
+    let n = Net.n ctx in
+    let namespace = params.namespace in
+    let key = Fingerprint.key_of_seed params.shared_seed in
+    (* Stage 1: committee election. *)
+    let elected, view, kings_order =
+      match params.committee with
+      | Everyone ->
+          let ids = List.sort Int.compare (Array.to_list (Net.all_ids ctx)) in
+          let arr = Array.of_list ids in
+          let shared = Repro_util.Rng.of_seed (params.shared_seed lxor 0x4b1) in
+          Repro_util.Rng.shuffle shared arr;
+          ignore (Net.skip_round ctx);
+          (* keep round numbering aligned with Shared_pool *)
+          (true, ids, Array.to_list arr)
+      | Shared_pool ->
+          let pool = pool_of_params params ~n in
+          let elected = Committee_pool.mem pool me in
+          let inbox =
+            if elected then Net.broadcast ctx Msg.Elect else Net.skip_round ctx
+          in
+          let view =
+            Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
+                match msg with
+                | Msg.Elect when Committee_pool.mem pool src -> src :: acc
+                | _ -> acc)
+            |> List.sort_uniq Int.compare
+          in
+          (elected, view, Committee_pool.king_order pool)
+      | Local_coin p ->
+          (* No shared randomness for the election: each node flips a local
+             coin and self-elects. The crucial difference to [Shared_pool]:
+             candidacy is unverifiable, so every Byzantine node can claim
+             it, and the committee's Byzantine share is no longer tied to
+             f/n (see the negative test in test_local_coin.ml). *)
+          let elected = Repro_util.Rng.bernoulli (Net.rng ctx) p in
+          let inbox =
+            if elected then Net.broadcast ctx Msg.Elect else Net.skip_round ctx
+          in
+          let view =
+            Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
+                match msg with Msg.Elect -> src :: acc | _ -> acc)
+            |> List.sort_uniq Int.compare
+          in
+          let arr = Array.of_list view in
+          let shared = Repro_util.Rng.of_seed (params.shared_seed lxor 0x10ca1) in
+          Repro_util.Rng.shuffle shared arr;
+          (elected, view, Array.to_list arr)
+    in
+    let kings = List.filter (fun k -> List.mem k view) kings_order in
+    Option.iter (fun t -> t.on_view ~id:me ~view) telemetry;
+    (* Stage 2: identity aggregation. *)
+    let inbox = Net.exchange ctx (List.map (fun c -> (c, Msg.Announce)) view) in
+    let first_inbox =
+      if not elected then Net.skip_round ctx
+      else begin
+        let announced =
           Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
-              match msg with
-              | Msg.Elect when Committee_pool.mem pool src -> src :: acc
-              | _ -> acc)
+              match msg with Msg.Announce -> src :: acc | _ -> acc)
           |> List.sort_uniq Int.compare
         in
-        (elected, view, Committee_pool.king_order pool)
-    | Local_coin p ->
-        (* No shared randomness for the election: each node flips a local
-           coin and self-elects. The crucial difference to [Shared_pool]:
-           candidacy is unverifiable, so every Byzantine node can claim
-           it, and the committee's Byzantine share is no longer tied to
-           f/n (see the negative test in test_local_coin.ml). *)
-        let elected = Repro_util.Rng.bernoulli (Net.rng ctx) p in
-        let inbox =
-          if elected then Net.broadcast ctx Msg.Elect else Net.skip_round ctx
+        let l = Bitvec.create namespace in
+        List.iter (fun i -> Bitvec.set l i true) announced;
+        let net =
+          {
+            Committee_net.me;
+            members = view;
+            exchange = (fun out -> Net.Inbox.pairs (Net.exchange ctx out));
+          }
         in
-        let view =
-          Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
-              match msg with Msg.Elect -> src :: acc | _ -> acc)
-          |> List.sort_uniq Int.compare
+        (* Stage 2b: committee-internal consensus on the identity list. *)
+        let consensus = make_consensus params ~kings in
+        let partition, dirty =
+          reconcile_identity_list ~mode:params.reconcile ~consensus ~net ~key
+            ~namespace l
         in
-        let arr = Array.of_list view in
-        let shared = Repro_util.Rng.of_seed (params.shared_seed lxor 0x10ca1) in
-        Repro_util.Rng.shuffle shared arr;
-        (elected, view, Array.to_list arr)
-  in
-  let kings = List.filter (fun k -> List.mem k view) kings_order in
-  Option.iter (fun t -> t.on_view ~id:me ~view) telemetry;
-  (* Stage 2: identity aggregation. *)
-  let inbox = Net.exchange ctx (List.map (fun c -> (c, Msg.Announce)) view) in
-  let first_inbox =
-    if not elected then Net.skip_round ctx
-    else begin
-      let announced =
-        Net.Inbox.fold inbox ~init:[] ~f:(fun acc ~src msg ->
-            match msg with Msg.Announce -> src :: acc | _ -> acc)
-        |> List.sort_uniq Int.compare
-      in
-      let l = Bitvec.create namespace in
-      List.iter (fun i -> Bitvec.set l i true) announced;
-      let net =
-        {
-          Committee_net.me;
-          members = view;
-          exchange = (fun out -> Net.Inbox.pairs (Net.exchange ctx out));
-        }
-      in
-      (* Stage 2b: committee-internal consensus on the identity list. *)
-      let consensus = make_consensus params ~kings in
-      let partition, dirty =
-        reconcile_identity_list ~mode:params.reconcile ~consensus ~net ~key
-          ~namespace l
-      in
-      Option.iter
-        (fun t ->
-          t.on_reconciled ~id:me ~l:(Bitvec.copy l) ~partition ~dirty)
-        telemetry;
-      let in_dirty i = List.exists (fun dj -> Interval.contains dj i) dirty in
-      (* Stage 3: distribute new identities (rank in the reconciled
-         list); null for identities inside my dirty intervals.
-         [announced] ascends (sort_uniq above), so the ranks are one
-         cumulative word-parallel popcount walk over [l] — O(N/w + n)
-         for the whole stage instead of O(n·N/w) repeated rank scans. *)
-      let prev = ref 0 and acc = ref 0 in
-      let out =
-        List.map
-          (fun u ->
-            acc := !acc + Bitvec.count l (Interval.make (!prev + 1) u);
-            prev := u;
-            if in_dirty u then (u, Msg.New None)
-            else (u, Msg.New (Some !acc)))
-          announced
-      in
-      Net.exchange ctx out
-    end
-  in
-  collect_new_identity ctx ~view first_inbox
+        Option.iter
+          (fun t ->
+            t.on_reconciled ~id:me ~l:(Bitvec.copy l) ~partition ~dirty)
+          telemetry;
+        let in_dirty i = List.exists (fun dj -> Interval.contains dj i) dirty in
+        (* Stage 3: distribute new identities (rank in the reconciled
+           list); null for identities inside my dirty intervals.
+           [announced] ascends (sort_uniq above), so the ranks are one
+           cumulative word-parallel popcount walk over [l] — O(N/w + n)
+           for the whole stage instead of O(n·N/w) repeated rank scans. *)
+        let prev = ref 0 and acc = ref 0 in
+        let out =
+          List.map
+            (fun u ->
+              acc := !acc + Bitvec.count l (Interval.make (!prev + 1) u);
+              prev := u;
+              if in_dirty u then (u, Msg.New None)
+              else (u, Msg.New (Some !acc)))
+            announced
+        in
+        Net.exchange ctx out
+      end
+    in
+    collect_new_identity ctx ~view first_inbox
+end
+
+module Node = Make_node (Net)
+
+let program = Node.program
 
 let run ?telemetry ~params ?byz ?tap ?on_crash ?on_decide ?on_round_end
     ?max_rounds ?seed ?shards ~ids () =

@@ -135,6 +135,15 @@ type telemetry = {
 val program : ?telemetry:telemetry -> params -> Net.ctx -> int
 (** Per-node program; returns the node's new identity in [\[1, n\]]. *)
 
+(** The same node program over an arbitrary network backend
+    ({!Repro_net.Network_intf.S}); the top-level {!program} is the
+    instantiation at the simulator's engine, and
+    [Repro_net.Socket_net.Host (Msg)] runs the identical node code
+    across OS processes. *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) : sig
+  val program : ?telemetry:telemetry -> params -> Net.ctx -> int
+end
+
 val run :
   ?telemetry:telemetry ->
   params:params ->

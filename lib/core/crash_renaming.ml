@@ -122,761 +122,6 @@ type state = {
   mutable elected : bool;
 }
 
-let fold_statuses f acc inbox =
-  Net.Inbox.fold inbox ~init:acc ~f:(fun acc ~src msg ->
-      match msg with
-      | Msg.Status { id; iv; d; p } -> f acc ~src ~id ~iv ~d ~p
-      | Msg.Notify | Msg.Response _ -> acc)
-
-(* {1 Linear-scan fallback}
-
-   The order-insensitive committee path: no assumptions on the inbox
-   beyond well-typed statuses. Every status is tested against every
-   group and ranks are computed over per-group sorted id arrays —
-   byte-compatible with the historical behaviour on arbitrary inboxes
-   (duplicated sources, forged ids, intervals outside the shared halving
-   tree). The flattened fast path below falls back to this the moment
-   any of its preconditions fails, so it remains a pure strength
-   reduction. *)
-
-type vgroup = {
-  g_lo : int;  (* the group's reported interval, unpacked *)
-  g_hi : int;
-  g_bot : Interval.t;
-  g_bot_size : int;
-  mutable g_ids : int array;  (* reporters of exactly this interval *)
-  mutable g_nids : int;
-  mutable g_sorted : bool;  (* [g_ids.(0 .. g_nids-1)] sorted yet? *)
-  mutable g_b : int;  (* #statuses with iv inside [g_bot] *)
-}
-
-let make_group iv =
-  let bot = Interval.bot iv in
-  {
-    g_lo = iv.Interval.lo;
-    g_hi = iv.Interval.hi;
-    g_bot = bot;
-    g_bot_size = Interval.size bot;
-    g_ids = [||];
-    g_nids = 0;
-    g_sorted = false;
-    g_b = 0;
-  }
-
-let group_add_id g id =
-  (if g.g_nids = Array.length g.g_ids then begin
-     let a = Array.make (max 8 (2 * g.g_nids)) 0 in
-     Array.blit g.g_ids 0 a 0 g.g_nids;
-     g.g_ids <- a
-   end);
-  g.g_ids.(g.g_nids) <- id;
-  g.g_nids <- g.g_nids + 1
-
-(* #{reporters of the group's interval with identity <= [id]}. *)
-let rank_in g id =
-  if not g.g_sorted then begin
-    if Array.length g.g_ids <> g.g_nids then
-      g.g_ids <- Array.sub g.g_ids 0 g.g_nids;
-    Array.sort Int.compare g.g_ids;
-    g.g_sorted <- true
-  end;
-  let a = g.g_ids in
-  let lo = ref 0 and hi = ref g.g_nids in
-  while !lo < !hi do
-    let m = (!lo + !hi) / 2 in
-    if a.(m) <= id then lo := m + 1 else hi := m
-  done;
-  !lo
-
-let fill_groups_scan garr ng inbox =
-  fold_statuses
-    (fun () ~src:_ ~id ~iv ~d:_ ~p:_ ->
-      let lo = iv.Interval.lo and hi = iv.Interval.hi in
-      for j = 0 to ng - 1 do
-        let g = Array.unsafe_get garr j in
-        if g.g_lo = lo && g.g_hi = hi then group_add_id g id
-        else if Interval.subset iv g.g_bot then g.g_b <- g.g_b + 1
-      done)
-    () inbox
-
-let collect_groups_scan d_min inbox =
-  let groups =
-    fold_statuses
-      (fun acc ~src:_ ~id:_ ~iv ~d ~p:_ ->
-        if d <> d_min || Interval.is_singleton iv then acc
-        else if
-          List.exists
-            (fun g -> g.g_lo = iv.Interval.lo && g.g_hi = iv.Interval.hi)
-            acc
-        then acc
-        else make_group iv :: acc)
-      [] inbox
-  in
-  Array.of_list groups
-
-(* Figure 2 (general path): the verdicts a committee member sends back,
-   one per status received, in inbox order. *)
-let committee_action_scan st inbox =
-  let d_min = ref max_int and p_max = ref min_int in
-  Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
-      match msg with
-      | Msg.Status { d; p; _ } ->
-          if d < !d_min then d_min := d;
-          if p > !p_max then p_max := p
-      | Msg.Notify | Msg.Response _ -> ());
-  let d_min = !d_min in
-  if d_min = max_int then [] (* no status in the inbox *)
-  else begin
-    if !p_max > st.pv then st.pv <- !p_max;
-    let gs = collect_groups_scan d_min inbox in
-    let ng = Array.length gs in
-    fill_groups_scan gs ng inbox;
-    let rec scan_g j lo hi =
-      let g = Array.unsafe_get gs j in
-      if g.g_lo = lo && g.g_hi = hi then g else scan_g (j + 1) lo hi
-    in
-    (* One verdict per status, in inbox order: consing onto the
-       accumulator of a reverse fold yields that order directly. *)
-    Net.Inbox.fold_rev inbox ~init:[] ~f:(fun acc ~src msg ->
-        match msg with
-        | Msg.Notify | Msg.Response _ -> acc
-        | Msg.Status { id; iv; d; p = _ } ->
-            let verdict =
-              if d <> d_min then Msg.Response { id; iv; d; p = st.pv }
-              else if Interval.is_singleton iv then
-                (* A decided node: nothing left to halve; bump its
-                   depth so it stops defining the minimum. *)
-                Msg.Response { id; iv; d = d + 1; p = st.pv }
-              else
-                let g = scan_g 0 iv.Interval.lo iv.Interval.hi in
-                if g.g_b + rank_in g id <= g.g_bot_size then
-                  Msg.Response { id; iv = g.g_bot; d = d + 1; p = st.pv }
-                else
-                  Msg.Response
-                    { id; iv = Interval.top iv; d = d + 1; p = st.pv }
-            in
-            (src, verdict) :: acc)
-  end
-
-(* {1 Flattened committee state}
-
-   Struct-of-arrays over dense {e slot} indices: slot [i+1] (1-based,
-   matching [Bitvec] positions) is the participant with the [i]-th
-   smallest identity. A committee member keeps, per slot, the last
-   status it received from that participant plus cached gamma sizes, and
-   maintains the Figure-2 verdict-group index {e incrementally} across
-   phases: a round's inbox is absorbed as a delta (changed, new and
-   vanished reporters), and only those deltas touch the index while the
-   minimum depth stands still. Group membership is a [Bitvec] over
-   slots, so reporter ranks are range popcounts; the depth sweep is a
-   first-set probe over the depth-occupancy bitvec.
-
-   Fast-path preconditions, checked while absorbing (any failure raises
-   [Bail] and the caller falls back to {!committee_action_scan}):
-   - every status's [id] equals its transport-level source (honest
-     crash-model nodes report their own identity),
-   - sources are strictly ascending (the engine's inbox order), each
-     reporting at most once,
-   - minimum-depth non-singleton intervals are pairwise disjoint (the
-     shared halving-tree invariant),
-   - depths and escalation levels stay below {!depth_cap} (bounds the
-     histogram arrays; honest values are O(log n)).
-
-   Under these the flattened path is observation-equivalent to the
-   scan: slot order = ascending identity = inbox order, so emission
-   order matches, and a rank "reporters of the interval with identity
-   <= id" equals a popcount of member slots at positions <= slot. *)
-
-let gamma = Repro_sim.Wire.gamma_bits
-let depth_cap = 1 lsl 20
-
-module Committee = struct
-  exception Bail
-
-  type t = {
-    cn : int;
-    full : Interval.t;  (* [1, cn]: the slot universe *)
-    sorted_ids : int array;  (* slot i+1 <-> sorted_ids.(i) *)
-    id_gamma : int array;  (* per-slot gamma(id) size table *)
-    (* stored statuses, valid where [present] is set *)
-    s_lo : int array;
-    s_hi : int array;
-    s_d : int array;
-    s_p : int array;
-    s_iv : Interval.t array;  (* the sender's interval record, shared *)
-    s_ivb : int array;  (* gamma(lo) + gamma(size-1), cached *)
-    s_db : int array;  (* gamma(d), cached *)
-    mutable present : Bitvec.t;  (* slots reporting in the last round *)
-    mutable scratch : Bitvec.t;  (* slots reporting this round *)
-    (* depth / escalation histograms over present statuses *)
-    mutable d_hist : int array;
-    mutable d_ne : Bitvec.t;  (* bit (d+1) set iff d_hist.(d) > 0 *)
-    mutable p_hist : int array;
-    mutable p_max : int;  (* max present p; -1 when none *)
-    (* this round's delta log *)
-    ch_slot : int array;
-    ch_old_lo : int array;
-    ch_old_hi : int array;
-    ch_old_d : int array;  (* -1: the slot was absent last round *)
-    mutable ch_len : int;
-    rm_lo : int array;
-    rm_hi : int array;
-    rm_d : int array;
-    mutable rm_len : int;
-    mutable stamp : int;  (* absorb counter, marks fresh groups *)
-    (* verdict-group index: parallel arrays sorted by [g_lo], valid for
-       minimum depth [g_depth] *)
-    mutable g_len : int;
-    mutable g_depth : int;  (* -1: invalid, next absorb rebuilds *)
-    mutable g_lo : int array;
-    mutable g_hi : int array;
-    mutable g_bot_hi : int array;
-    mutable g_bot_size : int array;
-    mutable g_b : int array;  (* #present statuses with iv inside bot *)
-    mutable g_ndmin : int array;  (* #present depth-g_depth exact reporters *)
-    mutable g_bot_iv : Interval.t array;  (* shared verdict intervals *)
-    mutable g_top_iv : Interval.t array;
-    mutable g_bot_ivb : int array;  (* cached verdict interval sizes *)
-    mutable g_top_ivb : int array;
-    mutable g_members : Bitvec.t array;  (* exact reporters, by slot *)
-    mutable g_fresh : int array;  (* stamp of the absorb that inserted *)
-    mutable g_cur_slot : int array;  (* emission rank cursors *)
-    mutable g_cur_rank : int array;
-    mutable pool : Bitvec.t list;  (* recycled member sets *)
-    (* sized outbox buffers, reused every round *)
-    out_dsts : int array;
-    out_msgs : Msg.t array;
-    out_sizes : int array;
-  }
-
-  let create ~ids =
-    let cn = Array.length ids in
-    let sorted_ids = Array.copy ids in
-    Array.sort Int.compare sorted_ids;
-    let dummy_iv = Interval.singleton 1 in
-    {
-      cn;
-      full = Interval.full (max 1 cn);
-      sorted_ids;
-      id_gamma = Array.map gamma sorted_ids;
-      s_lo = Array.make cn 0;
-      s_hi = Array.make cn 0;
-      s_d = Array.make cn 0;
-      s_p = Array.make cn 0;
-      s_iv = Array.make cn dummy_iv;
-      s_ivb = Array.make cn 0;
-      s_db = Array.make cn 0;
-      present = Bitvec.create cn;
-      scratch = Bitvec.create cn;
-      d_hist = Array.make 64 0;
-      d_ne = Bitvec.create 64;
-      p_hist = Array.make 64 0;
-      p_max = -1;
-      ch_slot = Array.make cn 0;
-      ch_old_lo = Array.make cn 0;
-      ch_old_hi = Array.make cn 0;
-      ch_old_d = Array.make cn 0;
-      ch_len = 0;
-      rm_lo = Array.make cn 0;
-      rm_hi = Array.make cn 0;
-      rm_d = Array.make cn 0;
-      rm_len = 0;
-      stamp = 0;
-      g_len = 0;
-      g_depth = -1;
-      g_lo = [||];
-      g_hi = [||];
-      g_bot_hi = [||];
-      g_bot_size = [||];
-      g_b = [||];
-      g_ndmin = [||];
-      g_bot_iv = [||];
-      g_top_iv = [||];
-      g_bot_ivb = [||];
-      g_top_ivb = [||];
-      g_members = [||];
-      g_fresh = [||];
-      g_cur_slot = [||];
-      g_cur_rank = [||];
-      pool = [];
-      out_dsts = Array.make cn 0;
-      out_msgs = Array.make cn Msg.Notify;
-      out_sizes = Array.make cn 0;
-    }
-
-  let clear_groups cs =
-    for j = 0 to cs.g_len - 1 do
-      Bitvec.clear_all cs.g_members.(j);
-      cs.pool <- cs.g_members.(j) :: cs.pool
-    done;
-    cs.g_len <- 0;
-    cs.g_depth <- -1
-
-  (* Back to the just-created state: the next absorb sees an empty
-     history and rebuilds everything from its inbox alone. *)
-  let reset cs =
-    Bitvec.clear_all cs.present;
-    Bitvec.clear_all cs.scratch;
-    Array.fill cs.d_hist 0 (Array.length cs.d_hist) 0;
-    Bitvec.clear_all cs.d_ne;
-    Array.fill cs.p_hist 0 (Array.length cs.p_hist) 0;
-    cs.p_max <- -1;
-    cs.ch_len <- 0;
-    cs.rm_len <- 0;
-    clear_groups cs
-
-  let grow_hist h need =
-    let len = max need (2 * Array.length h) in
-    let h' = Array.make len 0 in
-    Array.blit h 0 h' 0 (Array.length h);
-    h'
-
-  let ensure_depth cs d =
-    if d + 2 > Array.length cs.d_hist then begin
-      cs.d_hist <- grow_hist cs.d_hist (d + 2);
-      let ne = Bitvec.create (Array.length cs.d_hist) in
-      Bitvec.iter_set cs.d_ne
-        (Interval.full (Bitvec.length cs.d_ne))
-        ~f:(fun pos -> Bitvec.set ne pos true);
-      cs.d_ne <- ne
-    end
-
-  let ensure_p cs p =
-    if p + 1 > Array.length cs.p_hist then
-      cs.p_hist <- grow_hist cs.p_hist (p + 1)
-
-  let hist_add cs d p =
-    ensure_depth cs d;
-    ensure_p cs p;
-    let c = cs.d_hist.(d) + 1 in
-    cs.d_hist.(d) <- c;
-    if c = 1 then Bitvec.set cs.d_ne (d + 1) true;
-    cs.p_hist.(p) <- cs.p_hist.(p) + 1;
-    if p > cs.p_max then cs.p_max <- p
-
-  let hist_remove cs d p =
-    let c = cs.d_hist.(d) - 1 in
-    cs.d_hist.(d) <- c;
-    if c = 0 then Bitvec.set cs.d_ne (d + 1) false;
-    cs.p_hist.(p) <- cs.p_hist.(p) - 1;
-    if p = cs.p_max && cs.p_hist.(p) = 0 then begin
-      let q = ref (cs.p_max - 1) in
-      while !q >= 0 && cs.p_hist.(!q) = 0 do
-        decr q
-      done;
-      cs.p_max <- !q
-    end
-
-  (* Index of the rightmost group with [g_lo <= lo]; -1 if none. *)
-  let locate cs lo =
-    let l = ref 0 and h = ref cs.g_len in
-    while !l < !h do
-      let m = (!l + !h) / 2 in
-      if Array.unsafe_get cs.g_lo m <= lo then l := m + 1 else h := m
-    done;
-    !l - 1
-
-  let alloc_member cs =
-    match cs.pool with
-    | m :: tl ->
-        cs.pool <- tl;
-        m
-    | [] -> Bitvec.create cs.cn
-
-  let ensure_gcap cs =
-    if cs.g_len = Array.length cs.g_lo then begin
-      let cap = max 8 (2 * cs.g_len) in
-      let grow_i a =
-        let b = Array.make cap 0 in
-        Array.blit a 0 b 0 cs.g_len;
-        b
-      in
-      let dummy_iv = Interval.singleton 1 in
-      let grow_iv a =
-        let b = Array.make cap dummy_iv in
-        Array.blit a 0 b 0 cs.g_len;
-        b
-      in
-      let grow_bv a =
-        let b = Array.make cap cs.scratch in
-        Array.blit a 0 b 0 cs.g_len;
-        b
-      in
-      cs.g_lo <- grow_i cs.g_lo;
-      cs.g_hi <- grow_i cs.g_hi;
-      cs.g_bot_hi <- grow_i cs.g_bot_hi;
-      cs.g_bot_size <- grow_i cs.g_bot_size;
-      cs.g_b <- grow_i cs.g_b;
-      cs.g_ndmin <- grow_i cs.g_ndmin;
-      cs.g_bot_iv <- grow_iv cs.g_bot_iv;
-      cs.g_top_iv <- grow_iv cs.g_top_iv;
-      cs.g_bot_ivb <- grow_i cs.g_bot_ivb;
-      cs.g_top_ivb <- grow_i cs.g_top_ivb;
-      cs.g_members <- grow_bv cs.g_members;
-      cs.g_fresh <- grow_i cs.g_fresh;
-      cs.g_cur_slot <- grow_i cs.g_cur_slot;
-      cs.g_cur_rank <- grow_i cs.g_cur_rank
-    end
-
-  let insert_group cs ~at ~iv =
-    ensure_gcap cs;
-    let tail = cs.g_len - at in
-    let shift_i (a : int array) = Array.blit a at a (at + 1) tail in
-    let shift_iv (a : Interval.t array) = Array.blit a at a (at + 1) tail in
-    let shift_bv (a : Bitvec.t array) = Array.blit a at a (at + 1) tail in
-    shift_i cs.g_lo;
-    shift_i cs.g_hi;
-    shift_i cs.g_bot_hi;
-    shift_i cs.g_bot_size;
-    shift_i cs.g_b;
-    shift_i cs.g_ndmin;
-    shift_iv cs.g_bot_iv;
-    shift_iv cs.g_top_iv;
-    shift_i cs.g_bot_ivb;
-    shift_i cs.g_top_ivb;
-    shift_bv cs.g_members;
-    shift_i cs.g_fresh;
-    shift_i cs.g_cur_slot;
-    shift_i cs.g_cur_rank;
-    let bot = Interval.bot iv and top = Interval.top iv in
-    cs.g_lo.(at) <- iv.Interval.lo;
-    cs.g_hi.(at) <- iv.Interval.hi;
-    cs.g_bot_hi.(at) <- bot.Interval.hi;
-    cs.g_bot_size.(at) <- Interval.size bot;
-    cs.g_b.(at) <- 0;
-    cs.g_ndmin.(at) <- 0;
-    cs.g_bot_iv.(at) <- bot;
-    cs.g_top_iv.(at) <- top;
-    cs.g_bot_ivb.(at) <-
-      gamma bot.Interval.lo + gamma (Interval.size bot - 1);
-    cs.g_top_ivb.(at) <-
-      gamma top.Interval.lo + gamma (Interval.size top - 1);
-    cs.g_members.(at) <- alloc_member cs;
-    cs.g_fresh.(at) <- cs.stamp;
-    cs.g_len <- cs.g_len + 1
-
-  let remove_group cs at =
-    Bitvec.clear_all cs.g_members.(at);
-    cs.pool <- cs.g_members.(at) :: cs.pool;
-    let tail = cs.g_len - at - 1 in
-    let shift_i (a : int array) = Array.blit a (at + 1) a at tail in
-    let shift_iv (a : Interval.t array) = Array.blit a (at + 1) a at tail in
-    let shift_bv (a : Bitvec.t array) = Array.blit a (at + 1) a at tail in
-    shift_i cs.g_lo;
-    shift_i cs.g_hi;
-    shift_i cs.g_bot_hi;
-    shift_i cs.g_bot_size;
-    shift_i cs.g_b;
-    shift_i cs.g_ndmin;
-    shift_iv cs.g_bot_iv;
-    shift_iv cs.g_top_iv;
-    shift_i cs.g_bot_ivb;
-    shift_i cs.g_top_ivb;
-    shift_bv cs.g_members;
-    shift_i cs.g_fresh;
-    shift_i cs.g_cur_slot;
-    shift_i cs.g_cur_rank;
-    cs.g_len <- cs.g_len - 1
-
-  (* The group for minimum-depth non-singleton interval [iv], inserting
-     it if new; [Bail] if it overlaps a distinct existing group (the
-     shared-tree disjointness invariant failed). Mirrors the historical
-     fast-index collect checks. *)
-  let ensure_group cs ~lo ~hi ~iv =
-    let at = locate cs lo in
-    if at >= 0 && cs.g_lo.(at) = lo then
-      if cs.g_hi.(at) = hi then at else raise Bail
-    else if at >= 0 && lo <= cs.g_hi.(at) then raise Bail
-    else if at + 1 < cs.g_len && cs.g_lo.(at + 1) <= hi then raise Bail
-    else begin
-      insert_group cs ~at:(at + 1) ~iv;
-      at + 1
-    end
-
-  (* A freshly inserted group's contributions, computed wholesale from
-     every present status (the per-slot delta adds skip fresh groups). *)
-  let fill_group cs at d_min =
-    let glo = cs.g_lo.(at) and ghi = cs.g_hi.(at) in
-    let gbh = cs.g_bot_hi.(at) in
-    let members = cs.g_members.(at) in
-    Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
-        let i = slot - 1 in
-        let lo = Array.unsafe_get cs.s_lo i
-        and hi = Array.unsafe_get cs.s_hi i in
-        if lo = glo && hi = ghi then begin
-          Bitvec.set members slot true;
-          if cs.s_d.(i) = d_min then cs.g_ndmin.(at) <- cs.g_ndmin.(at) + 1
-        end
-        else if glo <= lo && hi <= gbh then cs.g_b.(at) <- cs.g_b.(at) + 1)
-
-  (* Rebuild the whole index for a new minimum depth: collect the
-     distinct non-singleton depth-[d_min] intervals, then one fill sweep
-     routes every present status to its (at most one) group. *)
-  let rebuild cs d_min =
-    clear_groups cs;
-    Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
-        let i = slot - 1 in
-        if cs.s_d.(i) = d_min && cs.s_lo.(i) < cs.s_hi.(i) then
-          ignore
-            (ensure_group cs ~lo:cs.s_lo.(i) ~hi:cs.s_hi.(i) ~iv:cs.s_iv.(i)));
-    Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
-        let i = slot - 1 in
-        let lo = Array.unsafe_get cs.s_lo i
-        and hi = Array.unsafe_get cs.s_hi i in
-        let at = locate cs lo in
-        if at >= 0 && lo <= cs.g_hi.(at) then
-          if lo = cs.g_lo.(at) && hi = cs.g_hi.(at) then begin
-            Bitvec.set cs.g_members.(at) slot true;
-            if cs.s_d.(i) = d_min then cs.g_ndmin.(at) <- cs.g_ndmin.(at) + 1
-          end
-          else if hi <= cs.g_bot_hi.(at) then cs.g_b.(at) <- cs.g_b.(at) + 1);
-    cs.g_depth <- d_min
-
-  (* The minimum depth stood still: retract the change log's old
-     contributions, prune groups left without a defining reporter, then
-     add the new contributions — inserting (and wholesale-filling) any
-     group a changed status newly defines. *)
-  let apply_deltas cs d_min =
-    let remove_old ~lo ~hi ~d ~slot =
-      let at = locate cs lo in
-      if at >= 0 && lo <= cs.g_hi.(at) then
-        if lo = cs.g_lo.(at) && hi = cs.g_hi.(at) then begin
-          Bitvec.set cs.g_members.(at) slot false;
-          if d = d_min then begin
-            cs.g_ndmin.(at) <- cs.g_ndmin.(at) - 1;
-            if cs.g_ndmin.(at) = 0 then remove_group cs at
-          end
-        end
-        else if hi <= cs.g_bot_hi.(at) then cs.g_b.(at) <- cs.g_b.(at) - 1
-    in
-    for k = 0 to cs.rm_len - 1 do
-      remove_old ~lo:cs.rm_lo.(k) ~hi:cs.rm_hi.(k) ~d:cs.rm_d.(k)
-        ~slot:cs.ch_slot.(cs.ch_len + k)
-    done;
-    for k = 0 to cs.ch_len - 1 do
-      if cs.ch_old_d.(k) >= 0 then
-        remove_old ~lo:cs.ch_old_lo.(k) ~hi:cs.ch_old_hi.(k)
-          ~d:cs.ch_old_d.(k) ~slot:cs.ch_slot.(k)
-    done;
-    for k = 0 to cs.ch_len - 1 do
-      let slot = cs.ch_slot.(k) in
-      let i = slot - 1 in
-      let lo = cs.s_lo.(i) and hi = cs.s_hi.(i) and d = cs.s_d.(i) in
-      let at = locate cs lo in
-      if at >= 0 && cs.g_lo.(at) = lo && cs.g_hi.(at) = hi then begin
-        (* exact reporter of an existing group *)
-        if cs.g_fresh.(at) <> cs.stamp then begin
-          Bitvec.set cs.g_members.(at) slot true;
-          if d = d_min then cs.g_ndmin.(at) <- cs.g_ndmin.(at) + 1
-        end
-      end
-      else if at >= 0 && lo <= cs.g_hi.(at) then begin
-        (* inside a distinct group's interval *)
-        if d = d_min && lo < hi then raise Bail (* overlapping groups *)
-        else if cs.g_fresh.(at) <> cs.stamp && hi <= cs.g_bot_hi.(at) then
-          cs.g_b.(at) <- cs.g_b.(at) + 1
-      end
-      else if d = d_min && lo < hi then begin
-        (* a new depth-minimal interval: becomes a fresh group *)
-        let at = ensure_group cs ~lo ~hi ~iv:cs.s_iv.(i) in
-        fill_group cs at d_min
-      end
-    done
-
-  type outcome = Empty | Emitted of int
-
-  (* Absorb one status round and fill the sized outbox buffers with the
-     verdicts, in inbox (= ascending slot) order. *)
-  let absorb_and_emit cs (st : state) inbox =
-    cs.stamp <- cs.stamp + 1;
-    cs.ch_len <- 0;
-    cs.rm_len <- 0;
-    let m = ref 0 in
-    let ptr = ref 0 in
-    Net.Inbox.iter inbox ~f:(fun ~src msg ->
-        match msg with
-        | Msg.Status { id; iv; d; p } ->
-            incr m;
-            if id <> src || d < 0 || d >= depth_cap || p < 0 || p >= depth_cap
-            then raise Bail;
-            let k = ref !ptr in
-            let ids = cs.sorted_ids in
-            while !k < cs.cn && Array.unsafe_get ids !k < src do
-              incr k
-            done;
-            if !k >= cs.cn || Array.unsafe_get ids !k <> src then raise Bail;
-            ptr := !k;
-            let i = !k in
-            let slot = i + 1 in
-            if Bitvec.get cs.scratch slot then raise Bail;
-            Bitvec.set cs.scratch slot true;
-            let lo = iv.Interval.lo and hi = iv.Interval.hi in
-            let was = Bitvec.get cs.present slot in
-            if
-              was && cs.s_lo.(i) = lo && cs.s_hi.(i) = hi && cs.s_d.(i) = d
-              && cs.s_p.(i) = p
-            then () (* unchanged: contributes exactly as indexed *)
-            else begin
-              let j = cs.ch_len in
-              cs.ch_slot.(j) <- slot;
-              if was then begin
-                cs.ch_old_lo.(j) <- cs.s_lo.(i);
-                cs.ch_old_hi.(j) <- cs.s_hi.(i);
-                cs.ch_old_d.(j) <- cs.s_d.(i);
-                hist_remove cs cs.s_d.(i) cs.s_p.(i)
-              end
-              else cs.ch_old_d.(j) <- -1;
-              cs.ch_len <- j + 1;
-              hist_add cs d p;
-              cs.s_lo.(i) <- lo;
-              cs.s_hi.(i) <- hi;
-              cs.s_d.(i) <- d;
-              cs.s_p.(i) <- p;
-              cs.s_iv.(i) <- iv;
-              cs.s_ivb.(i) <- gamma lo + gamma (hi - lo);
-              cs.s_db.(i) <- gamma d
-            end
-        | Msg.Notify | Msg.Response _ -> ());
-    if !m = 0 then Empty
-    else begin
-      (* vanished reporters: in [present] but silent this round; their
-         slots ride in [ch_slot] past the change entries *)
-      Bitvec.iter_diff cs.present cs.scratch ~f:(fun slot ->
-          let i = slot - 1 in
-          let j = cs.rm_len in
-          cs.ch_slot.(cs.ch_len + j) <- slot;
-          cs.rm_lo.(j) <- cs.s_lo.(i);
-          cs.rm_hi.(j) <- cs.s_hi.(i);
-          cs.rm_d.(j) <- cs.s_d.(i);
-          cs.rm_len <- j + 1;
-          hist_remove cs cs.s_d.(i) cs.s_p.(i));
-      let old = cs.present in
-      cs.present <- cs.scratch;
-      cs.scratch <- old;
-      Bitvec.clear_all cs.scratch;
-      let d_min =
-        match
-          Bitvec.first_set cs.d_ne (Interval.full (Bitvec.length cs.d_ne))
-        with
-        | Some pos -> pos - 1
-        | None -> raise Bail (* unreachable: m > 0 statuses are present *)
-      in
-      if cs.p_max > st.pv then st.pv <- cs.p_max;
-      (* Delta replay wins when few statuses moved; under churn (a
-         committee killer reshuffles most reporters every round) the
-         group surgery costs more than a wholesale rebuild, so past
-         half the membership changed, rebuild. Both routines index the
-         same state identically — test/test_committee_paths.ml pins the
-         equivalence — so the threshold is pure policy. *)
-      if
-        cs.g_depth <> d_min
-        || 2 * (cs.ch_len + cs.rm_len) > Bitvec.count_all cs.present
-      then rebuild cs d_min
-      else apply_deltas cs d_min;
-      (* emission: one verdict per present slot, ascending — precomputed
-         size components make billing pure table lookups *)
-      for j = 0 to cs.g_len - 1 do
-        cs.g_cur_slot.(j) <- 0;
-        cs.g_cur_rank.(j) <- 0
-      done;
-      let pvb = gamma st.pv in
-      let d1b = gamma (d_min + 1) in
-      let k = ref 0 in
-      Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
-          let i = slot - 1 in
-          let id = Array.unsafe_get cs.sorted_ids i in
-          let d = Array.unsafe_get cs.s_d i in
-          let lo = Array.unsafe_get cs.s_lo i
-          and hi = Array.unsafe_get cs.s_hi i in
-          let head = 2 + Array.unsafe_get cs.id_gamma i in
-          let msg, sz =
-            if d <> d_min then
-              ( Msg.Response { id; iv = cs.s_iv.(i); d; p = st.pv },
-                head + cs.s_ivb.(i) + cs.s_db.(i) + pvb )
-            else if lo = hi then
-              ( Msg.Response { id; iv = cs.s_iv.(i); d = d + 1; p = st.pv },
-                head + cs.s_ivb.(i) + d1b + pvb )
-            else begin
-              let at = locate cs lo in
-              if at < 0 || cs.g_lo.(at) <> lo || cs.g_hi.(at) <> hi then
-                raise Bail;
-              (* rank via a cumulative range popcount: queried slots
-                 ascend, so each member word is scanned once per round *)
-              let prev = cs.g_cur_slot.(at) in
-              let add =
-                Bitvec.count cs.g_members.(at) (Interval.make (prev + 1) slot)
-              in
-              cs.g_cur_slot.(at) <- slot;
-              let rank = cs.g_cur_rank.(at) + add in
-              cs.g_cur_rank.(at) <- rank;
-              if cs.g_b.(at) + rank <= cs.g_bot_size.(at) then
-                ( Msg.Response
-                    { id; iv = cs.g_bot_iv.(at); d = d + 1; p = st.pv },
-                  head + cs.g_bot_ivb.(at) + d1b + pvb )
-              else
-                ( Msg.Response
-                    { id; iv = cs.g_top_iv.(at); d = d + 1; p = st.pv },
-                  head + cs.g_top_ivb.(at) + d1b + pvb )
-            end
-          in
-          cs.out_dsts.(!k) <- id;
-          cs.out_msgs.(!k) <- msg;
-          cs.out_sizes.(!k) <- sz;
-          incr k);
-      Emitted !k
-    end
-end
-
-(* Figure 3: adopt the deepest (then leftmost) committee verdict; on
-   committee silence, escalate p and maybe self-elect. *)
-
-let node_action params ~n rng st inbox =
-  let self_elect () =
-    if not st.elected then
-      st.elected <-
-        Rng.bernoulli rng (election_probability params ~n ~p:st.pv)
-  in
-  (* One pass over the envelopes, no intermediate tuples: the deepest,
-     then leftmost verdict (first occurrence wins ties — the same
-     element a stable sort would put first) and the maximum escalation
-     level seen. *)
-  let found = ref false in
-  let best_iv = ref st.iv and best_d = ref 0 and p_hat = ref min_int in
-  Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
-      match msg with
-      | Msg.Response { id = _; iv; d; p } ->
-          if not !found then begin
-            found := true;
-            best_iv := iv;
-            best_d := d;
-            p_hat := p
-          end
-          else begin
-            if
-              d > !best_d
-              || (d = !best_d && iv.Interval.lo < (!best_iv).Interval.lo)
-            then begin
-              best_iv := iv;
-              best_d := d
-            end;
-            if p > !p_hat then p_hat := p
-          end
-      | Msg.Notify | Msg.Status _ -> ());
-  if not !found then begin
-    st.pv <- st.pv + 1;
-    self_elect ()
-  end
-  else begin
-    if not (Interval.is_singleton st.iv) then begin
-      st.dv <- !best_d;
-      st.iv <- !best_iv
-    end;
-    if !p_hat > st.pv then begin
-      st.pv <- !p_hat;
-      self_elect ()
-    end
-  end
-
 type telemetry = {
   on_phase_end :
     phase:int ->
@@ -888,107 +133,929 @@ type telemetry = {
     unit;
 }
 
-let program ?telemetry params ctx =
-  let n = Net.n ctx in
-  let rng = Net.rng ctx in
-  let full_iv = Interval.full (target_size params ~n) in
-  let st = { iv = full_iv; dv = 0; pv = 0; elected = false } in
-  (* Committee-id scratch buffer, reused across phases: the committee
-     list is rebuilt from every announcement inbox by each of the n
-     nodes, so building it with a fold + [List.rev] doubled the cons
-     cells of the whole round. *)
-  let cbuf = ref (Array.make 16 0) in
-  (* Flattened committee state, allocated on first election only: most
-     nodes never serve. Persists across phases — that persistence is
-     what the incremental index trades on. *)
-  let cstate = ref None in
-  let committee_state () =
-    match !cstate with
-    | Some cs -> cs
-    | None ->
-        let cs = Committee.create ~ids:(Net.all_ids ctx) in
-        cstate := Some cs;
-        cs
-  in
-  let committee_round cs inbox =
-    match Committee.absorb_and_emit cs st inbox with
-    | Committee.Empty -> Net.exchange ctx []
-    | Committee.Emitted len ->
-        Net.exchange_sized ctx ~dsts:cs.Committee.out_dsts
-          ~msgs:cs.Committee.out_msgs ~sizes:cs.Committee.out_sizes ~len
-    | exception Committee.Bail ->
-        (* Some fast-path precondition failed, possibly mid-update: drop
-           the whole incremental state and answer via the linear scan,
-           which re-reads the inbox from scratch. *)
-        Committee.reset cs;
-        Net.exchange ctx (committee_action_scan st inbox)
-  in
-  st.elected <- Rng.bernoulli rng (election_probability params ~n ~p:0);
-  for phase = 1 to phases params ~n do
-    (* Round 1: committee announcement. *)
-    let inbox1 =
-      if st.elected then Net.broadcast ctx Msg.Notify else Net.skip_round ctx
-    in
-    let ck = ref 0 in
-    Net.Inbox.iter inbox1 ~f:(fun ~src msg ->
+(* The node-side algorithm, over any network backend. The functor
+   argument is the node-facing slice of the engine's API
+   ({!Repro_net.Network_intf.S}); applying it to
+   [Repro_sim.Engine.Make (Msg)] recovers the historical single-process
+   implementation below, and applying it to
+   [Repro_net.Socket_net.Host (Msg)] runs the very same node code over
+   OS processes and real sockets. *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) =
+struct
+  let fold_statuses f acc inbox =
+    Net.Inbox.fold inbox ~init:acc ~f:(fun acc ~src msg ->
         match msg with
-        | Msg.Notify ->
-            (if !ck = Array.length !cbuf then begin
-               let a = Array.make (2 * !ck) 0 in
-               Array.blit !cbuf 0 a 0 !ck;
-               cbuf := a
-             end);
-            (!cbuf).(!ck) <- src;
-            incr ck
-        | Msg.Status _ | Msg.Response _ -> ());
-    (* Ascending src order, one cons per member. *)
-    let committee = ref [] in
-    for i = !ck - 1 downto 0 do
-      committee := (!cbuf).(i) :: !committee
+        | Msg.Status { id; iv; d; p } -> f acc ~src ~id ~iv ~d ~p
+        | Msg.Notify | Msg.Response _ -> acc)
+
+  (* {1 Linear-scan fallback}
+
+     The order-insensitive committee path: no assumptions on the inbox
+     beyond well-typed statuses. Every status is tested against every
+     group and ranks are computed over per-group sorted id arrays —
+     byte-compatible with the historical behaviour on arbitrary inboxes
+     (duplicated sources, forged ids, intervals outside the shared halving
+     tree). The flattened fast path below falls back to this the moment
+     any of its preconditions fails, so it remains a pure strength
+     reduction. *)
+
+  type vgroup = {
+    g_lo : int;  (* the group's reported interval, unpacked *)
+    g_hi : int;
+    g_bot : Interval.t;
+    g_bot_size : int;
+    mutable g_ids : int array;  (* reporters of exactly this interval *)
+    mutable g_nids : int;
+    mutable g_sorted : bool;  (* [g_ids.(0 .. g_nids-1)] sorted yet? *)
+    mutable g_b : int;  (* #statuses with iv inside [g_bot] *)
+  }
+
+  let make_group iv =
+    let bot = Interval.bot iv in
+    {
+      g_lo = iv.Interval.lo;
+      g_hi = iv.Interval.hi;
+      g_bot = bot;
+      g_bot_size = Interval.size bot;
+      g_ids = [||];
+      g_nids = 0;
+      g_sorted = false;
+      g_b = 0;
+    }
+
+  let group_add_id g id =
+    (if g.g_nids = Array.length g.g_ids then begin
+       let a = Array.make (max 8 (2 * g.g_nids)) 0 in
+       Array.blit g.g_ids 0 a 0 g.g_nids;
+       g.g_ids <- a
+     end);
+    g.g_ids.(g.g_nids) <- id;
+    g.g_nids <- g.g_nids + 1
+
+  (* #{reporters of the group's interval with identity <= [id]}. *)
+  let rank_in g id =
+    if not g.g_sorted then begin
+      if Array.length g.g_ids <> g.g_nids then
+        g.g_ids <- Array.sub g.g_ids 0 g.g_nids;
+      Array.sort Int.compare g.g_ids;
+      g.g_sorted <- true
+    end;
+    let a = g.g_ids in
+    let lo = ref 0 and hi = ref g.g_nids in
+    while !lo < !hi do
+      let m = (!lo + !hi) / 2 in
+      if a.(m) <= id then lo := m + 1 else hi := m
     done;
-    let committee = !committee in
-    (* Round 2: report status to every announced committee member — one
-       message value fanned out by the engine. *)
-    let my_status =
-      Msg.Status { id = Net.my_id ctx; iv = st.iv; d = st.dv; p = st.pv }
+    !lo
+
+  let fill_groups_scan garr ng inbox =
+    fold_statuses
+      (fun () ~src:_ ~id ~iv ~d:_ ~p:_ ->
+        let lo = iv.Interval.lo and hi = iv.Interval.hi in
+        for j = 0 to ng - 1 do
+          let g = Array.unsafe_get garr j in
+          if g.g_lo = lo && g.g_hi = hi then group_add_id g id
+          else if Interval.subset iv g.g_bot then g.g_b <- g.g_b + 1
+        done)
+      () inbox
+
+  let collect_groups_scan d_min inbox =
+    let groups =
+      fold_statuses
+        (fun acc ~src:_ ~id:_ ~iv ~d ~p:_ ->
+          if d <> d_min || Interval.is_singleton iv then acc
+          else if
+            List.exists
+              (fun g -> g.g_lo = iv.Interval.lo && g.g_hi = iv.Interval.hi)
+              acc
+          then acc
+          else make_group iv :: acc)
+        [] inbox
     in
-    let inbox2 = Net.multisend ctx ~dsts:committee my_status in
-    (* Round 3: committee verdicts out, node reaction in.  The p-hat
-       adoption that used to sit here folds into the committee pass
-       over the same inbox. *)
-    let inbox3 =
-      if st.elected then
-        match params.committee_path with
-        | Linear_scan -> Net.exchange ctx (committee_action_scan st inbox2)
-        | Rebuild_each_round ->
-            let cs = committee_state () in
-            Committee.reset cs;
-            committee_round cs inbox2
-        | Incremental ->
-            let cs = committee_state () in
-            committee_round cs inbox2
-      else Net.exchange ctx []
+    Array.of_list groups
+
+  (* Figure 2 (general path): the verdicts a committee member sends back,
+     one per status received, in inbox order. *)
+  let committee_action_scan st inbox =
+    let d_min = ref max_int and p_max = ref min_int in
+    Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
+        match msg with
+        | Msg.Status { d; p; _ } ->
+            if d < !d_min then d_min := d;
+            if p > !p_max then p_max := p
+        | Msg.Notify | Msg.Response _ -> ());
+    let d_min = !d_min in
+    if d_min = max_int then [] (* no status in the inbox *)
+    else begin
+      if !p_max > st.pv then st.pv <- !p_max;
+      let gs = collect_groups_scan d_min inbox in
+      let ng = Array.length gs in
+      fill_groups_scan gs ng inbox;
+      let rec scan_g j lo hi =
+        let g = Array.unsafe_get gs j in
+        if g.g_lo = lo && g.g_hi = hi then g else scan_g (j + 1) lo hi
+      in
+      (* One verdict per status, in inbox order: consing onto the
+         accumulator of a reverse fold yields that order directly. *)
+      Net.Inbox.fold_rev inbox ~init:[] ~f:(fun acc ~src msg ->
+          match msg with
+          | Msg.Notify | Msg.Response _ -> acc
+          | Msg.Status { id; iv; d; p = _ } ->
+              let verdict =
+                if d <> d_min then Msg.Response { id; iv; d; p = st.pv }
+                else if Interval.is_singleton iv then
+                  (* A decided node: nothing left to halve; bump its
+                     depth so it stops defining the minimum. *)
+                  Msg.Response { id; iv; d = d + 1; p = st.pv }
+                else
+                  let g = scan_g 0 iv.Interval.lo iv.Interval.hi in
+                  if g.g_b + rank_in g id <= g.g_bot_size then
+                    Msg.Response { id; iv = g.g_bot; d = d + 1; p = st.pv }
+                  else
+                    Msg.Response
+                      { id; iv = Interval.top iv; d = d + 1; p = st.pv }
+              in
+              (src, verdict) :: acc)
+    end
+
+  (* {1 Flattened committee state}
+
+     Struct-of-arrays over dense {e slot} indices: slot [i+1] (1-based,
+     matching [Bitvec] positions) is the participant with the [i]-th
+     smallest identity. A committee member keeps, per slot, the last
+     status it received from that participant plus cached gamma sizes, and
+     maintains the Figure-2 verdict-group index {e incrementally} across
+     phases: a round's inbox is absorbed as a delta (changed, new and
+     vanished reporters), and only those deltas touch the index while the
+     minimum depth stands still. Group membership is a [Bitvec] over
+     slots, so reporter ranks are range popcounts; the depth sweep is a
+     first-set probe over the depth-occupancy bitvec.
+
+     Fast-path preconditions, checked while absorbing (any failure raises
+     [Bail] and the caller falls back to {!committee_action_scan}):
+     - every status's [id] equals its transport-level source (honest
+       crash-model nodes report their own identity),
+     - sources are strictly ascending (the engine's inbox order), each
+       reporting at most once,
+     - minimum-depth non-singleton intervals are pairwise disjoint (the
+       shared halving-tree invariant),
+     - depths and escalation levels stay below {!depth_cap} (bounds the
+       histogram arrays; honest values are O(log n)).
+
+     Under these the flattened path is observation-equivalent to the
+     scan: slot order = ascending identity = inbox order, so emission
+     order matches, and a rank "reporters of the interval with identity
+     <= id" equals a popcount of member slots at positions <= slot. *)
+
+  let gamma = Repro_sim.Wire.gamma_bits
+  let depth_cap = 1 lsl 20
+
+  module Committee = struct
+    exception Bail
+
+    type t = {
+      cn : int;
+      full : Interval.t;  (* [1, cn]: the slot universe *)
+      sorted_ids : int array;  (* slot i+1 <-> sorted_ids.(i) *)
+      id_gamma : int array;  (* per-slot gamma(id) size table *)
+      (* stored statuses, valid where [present] is set *)
+      s_lo : int array;
+      s_hi : int array;
+      s_d : int array;
+      s_p : int array;
+      s_iv : Interval.t array;  (* the sender's interval record, shared *)
+      s_ivb : int array;  (* gamma(lo) + gamma(size-1), cached *)
+      s_db : int array;  (* gamma(d), cached *)
+      mutable present : Bitvec.t;  (* slots reporting in the last round *)
+      mutable scratch : Bitvec.t;  (* slots reporting this round *)
+      (* depth / escalation histograms over present statuses *)
+      mutable d_hist : int array;
+      mutable d_ne : Bitvec.t;  (* bit (d+1) set iff d_hist.(d) > 0 *)
+      mutable p_hist : int array;
+      mutable p_max : int;  (* max present p; -1 when none *)
+      (* this round's delta log *)
+      ch_slot : int array;
+      ch_old_lo : int array;
+      ch_old_hi : int array;
+      ch_old_d : int array;  (* -1: the slot was absent last round *)
+      mutable ch_len : int;
+      rm_lo : int array;
+      rm_hi : int array;
+      rm_d : int array;
+      mutable rm_len : int;
+      mutable stamp : int;  (* absorb counter, marks fresh groups *)
+      (* verdict-group index: parallel arrays sorted by [g_lo], valid for
+         minimum depth [g_depth] *)
+      mutable g_len : int;
+      mutable g_depth : int;  (* -1: invalid, next absorb rebuilds *)
+      mutable g_lo : int array;
+      mutable g_hi : int array;
+      mutable g_bot_hi : int array;
+      mutable g_bot_size : int array;
+      mutable g_b : int array;  (* #present statuses with iv inside bot *)
+      mutable g_ndmin : int array;  (* #present depth-g_depth exact reporters *)
+      mutable g_bot_iv : Interval.t array;  (* shared verdict intervals *)
+      mutable g_top_iv : Interval.t array;
+      mutable g_bot_ivb : int array;  (* cached verdict interval sizes *)
+      mutable g_top_ivb : int array;
+      mutable g_members : Bitvec.t array;  (* exact reporters, by slot *)
+      mutable g_fresh : int array;  (* stamp of the absorb that inserted *)
+      mutable g_cur_slot : int array;  (* emission rank cursors *)
+      mutable g_cur_rank : int array;
+      mutable pool : Bitvec.t list;  (* recycled member sets *)
+      (* sized outbox buffers, reused every round *)
+      out_dsts : int array;
+      out_msgs : Msg.t array;
+      out_sizes : int array;
+    }
+
+    let create ~ids =
+      let cn = Array.length ids in
+      let sorted_ids = Array.copy ids in
+      Array.sort Int.compare sorted_ids;
+      let dummy_iv = Interval.singleton 1 in
+      {
+        cn;
+        full = Interval.full (max 1 cn);
+        sorted_ids;
+        id_gamma = Array.map gamma sorted_ids;
+        s_lo = Array.make cn 0;
+        s_hi = Array.make cn 0;
+        s_d = Array.make cn 0;
+        s_p = Array.make cn 0;
+        s_iv = Array.make cn dummy_iv;
+        s_ivb = Array.make cn 0;
+        s_db = Array.make cn 0;
+        present = Bitvec.create cn;
+        scratch = Bitvec.create cn;
+        d_hist = Array.make 64 0;
+        d_ne = Bitvec.create 64;
+        p_hist = Array.make 64 0;
+        p_max = -1;
+        ch_slot = Array.make cn 0;
+        ch_old_lo = Array.make cn 0;
+        ch_old_hi = Array.make cn 0;
+        ch_old_d = Array.make cn 0;
+        ch_len = 0;
+        rm_lo = Array.make cn 0;
+        rm_hi = Array.make cn 0;
+        rm_d = Array.make cn 0;
+        rm_len = 0;
+        stamp = 0;
+        g_len = 0;
+        g_depth = -1;
+        g_lo = [||];
+        g_hi = [||];
+        g_bot_hi = [||];
+        g_bot_size = [||];
+        g_b = [||];
+        g_ndmin = [||];
+        g_bot_iv = [||];
+        g_top_iv = [||];
+        g_bot_ivb = [||];
+        g_top_ivb = [||];
+        g_members = [||];
+        g_fresh = [||];
+        g_cur_slot = [||];
+        g_cur_rank = [||];
+        pool = [];
+        out_dsts = Array.make cn 0;
+        out_msgs = Array.make cn Msg.Notify;
+        out_sizes = Array.make cn 0;
+      }
+
+    let clear_groups cs =
+      for j = 0 to cs.g_len - 1 do
+        Bitvec.clear_all cs.g_members.(j);
+        cs.pool <- cs.g_members.(j) :: cs.pool
+      done;
+      cs.g_len <- 0;
+      cs.g_depth <- -1
+
+    (* Back to the just-created state: the next absorb sees an empty
+       history and rebuilds everything from its inbox alone. *)
+    let reset cs =
+      Bitvec.clear_all cs.present;
+      Bitvec.clear_all cs.scratch;
+      Array.fill cs.d_hist 0 (Array.length cs.d_hist) 0;
+      Bitvec.clear_all cs.d_ne;
+      Array.fill cs.p_hist 0 (Array.length cs.p_hist) 0;
+      cs.p_max <- -1;
+      cs.ch_len <- 0;
+      cs.rm_len <- 0;
+      clear_groups cs
+
+    let grow_hist h need =
+      let len = max need (2 * Array.length h) in
+      let h' = Array.make len 0 in
+      Array.blit h 0 h' 0 (Array.length h);
+      h'
+
+    let ensure_depth cs d =
+      if d + 2 > Array.length cs.d_hist then begin
+        cs.d_hist <- grow_hist cs.d_hist (d + 2);
+        let ne = Bitvec.create (Array.length cs.d_hist) in
+        Bitvec.iter_set cs.d_ne
+          (Interval.full (Bitvec.length cs.d_ne))
+          ~f:(fun pos -> Bitvec.set ne pos true);
+        cs.d_ne <- ne
+      end
+
+    let ensure_p cs p =
+      if p + 1 > Array.length cs.p_hist then
+        cs.p_hist <- grow_hist cs.p_hist (p + 1)
+
+    let hist_add cs d p =
+      ensure_depth cs d;
+      ensure_p cs p;
+      let c = cs.d_hist.(d) + 1 in
+      cs.d_hist.(d) <- c;
+      if c = 1 then Bitvec.set cs.d_ne (d + 1) true;
+      cs.p_hist.(p) <- cs.p_hist.(p) + 1;
+      if p > cs.p_max then cs.p_max <- p
+
+    let hist_remove cs d p =
+      let c = cs.d_hist.(d) - 1 in
+      cs.d_hist.(d) <- c;
+      if c = 0 then Bitvec.set cs.d_ne (d + 1) false;
+      cs.p_hist.(p) <- cs.p_hist.(p) - 1;
+      if p = cs.p_max && cs.p_hist.(p) = 0 then begin
+        let q = ref (cs.p_max - 1) in
+        while !q >= 0 && cs.p_hist.(!q) = 0 do
+          decr q
+        done;
+        cs.p_max <- !q
+      end
+
+    (* Index of the rightmost group with [g_lo <= lo]; -1 if none. *)
+    let locate cs lo =
+      let l = ref 0 and h = ref cs.g_len in
+      while !l < !h do
+        let m = (!l + !h) / 2 in
+        if Array.unsafe_get cs.g_lo m <= lo then l := m + 1 else h := m
+      done;
+      !l - 1
+
+    let alloc_member cs =
+      match cs.pool with
+      | m :: tl ->
+          cs.pool <- tl;
+          m
+      | [] -> Bitvec.create cs.cn
+
+    let ensure_gcap cs =
+      if cs.g_len = Array.length cs.g_lo then begin
+        let cap = max 8 (2 * cs.g_len) in
+        let grow_i a =
+          let b = Array.make cap 0 in
+          Array.blit a 0 b 0 cs.g_len;
+          b
+        in
+        let dummy_iv = Interval.singleton 1 in
+        let grow_iv a =
+          let b = Array.make cap dummy_iv in
+          Array.blit a 0 b 0 cs.g_len;
+          b
+        in
+        let grow_bv a =
+          let b = Array.make cap cs.scratch in
+          Array.blit a 0 b 0 cs.g_len;
+          b
+        in
+        cs.g_lo <- grow_i cs.g_lo;
+        cs.g_hi <- grow_i cs.g_hi;
+        cs.g_bot_hi <- grow_i cs.g_bot_hi;
+        cs.g_bot_size <- grow_i cs.g_bot_size;
+        cs.g_b <- grow_i cs.g_b;
+        cs.g_ndmin <- grow_i cs.g_ndmin;
+        cs.g_bot_iv <- grow_iv cs.g_bot_iv;
+        cs.g_top_iv <- grow_iv cs.g_top_iv;
+        cs.g_bot_ivb <- grow_i cs.g_bot_ivb;
+        cs.g_top_ivb <- grow_i cs.g_top_ivb;
+        cs.g_members <- grow_bv cs.g_members;
+        cs.g_fresh <- grow_i cs.g_fresh;
+        cs.g_cur_slot <- grow_i cs.g_cur_slot;
+        cs.g_cur_rank <- grow_i cs.g_cur_rank
+      end
+
+    let insert_group cs ~at ~iv =
+      ensure_gcap cs;
+      let tail = cs.g_len - at in
+      let shift_i (a : int array) = Array.blit a at a (at + 1) tail in
+      let shift_iv (a : Interval.t array) = Array.blit a at a (at + 1) tail in
+      let shift_bv (a : Bitvec.t array) = Array.blit a at a (at + 1) tail in
+      shift_i cs.g_lo;
+      shift_i cs.g_hi;
+      shift_i cs.g_bot_hi;
+      shift_i cs.g_bot_size;
+      shift_i cs.g_b;
+      shift_i cs.g_ndmin;
+      shift_iv cs.g_bot_iv;
+      shift_iv cs.g_top_iv;
+      shift_i cs.g_bot_ivb;
+      shift_i cs.g_top_ivb;
+      shift_bv cs.g_members;
+      shift_i cs.g_fresh;
+      shift_i cs.g_cur_slot;
+      shift_i cs.g_cur_rank;
+      let bot = Interval.bot iv and top = Interval.top iv in
+      cs.g_lo.(at) <- iv.Interval.lo;
+      cs.g_hi.(at) <- iv.Interval.hi;
+      cs.g_bot_hi.(at) <- bot.Interval.hi;
+      cs.g_bot_size.(at) <- Interval.size bot;
+      cs.g_b.(at) <- 0;
+      cs.g_ndmin.(at) <- 0;
+      cs.g_bot_iv.(at) <- bot;
+      cs.g_top_iv.(at) <- top;
+      cs.g_bot_ivb.(at) <-
+        gamma bot.Interval.lo + gamma (Interval.size bot - 1);
+      cs.g_top_ivb.(at) <-
+        gamma top.Interval.lo + gamma (Interval.size top - 1);
+      cs.g_members.(at) <- alloc_member cs;
+      cs.g_fresh.(at) <- cs.stamp;
+      cs.g_len <- cs.g_len + 1
+
+    let remove_group cs at =
+      Bitvec.clear_all cs.g_members.(at);
+      cs.pool <- cs.g_members.(at) :: cs.pool;
+      let tail = cs.g_len - at - 1 in
+      let shift_i (a : int array) = Array.blit a (at + 1) a at tail in
+      let shift_iv (a : Interval.t array) = Array.blit a (at + 1) a at tail in
+      let shift_bv (a : Bitvec.t array) = Array.blit a (at + 1) a at tail in
+      shift_i cs.g_lo;
+      shift_i cs.g_hi;
+      shift_i cs.g_bot_hi;
+      shift_i cs.g_bot_size;
+      shift_i cs.g_b;
+      shift_i cs.g_ndmin;
+      shift_iv cs.g_bot_iv;
+      shift_iv cs.g_top_iv;
+      shift_i cs.g_bot_ivb;
+      shift_i cs.g_top_ivb;
+      shift_bv cs.g_members;
+      shift_i cs.g_fresh;
+      shift_i cs.g_cur_slot;
+      shift_i cs.g_cur_rank;
+      cs.g_len <- cs.g_len - 1
+
+    (* The group for minimum-depth non-singleton interval [iv], inserting
+       it if new; [Bail] if it overlaps a distinct existing group (the
+       shared-tree disjointness invariant failed). Mirrors the historical
+       fast-index collect checks. *)
+    let ensure_group cs ~lo ~hi ~iv =
+      let at = locate cs lo in
+      if at >= 0 && cs.g_lo.(at) = lo then
+        if cs.g_hi.(at) = hi then at else raise Bail
+      else if at >= 0 && lo <= cs.g_hi.(at) then raise Bail
+      else if at + 1 < cs.g_len && cs.g_lo.(at + 1) <= hi then raise Bail
+      else begin
+        insert_group cs ~at:(at + 1) ~iv;
+        at + 1
+      end
+
+    (* A freshly inserted group's contributions, computed wholesale from
+       every present status (the per-slot delta adds skip fresh groups). *)
+    let fill_group cs at d_min =
+      let glo = cs.g_lo.(at) and ghi = cs.g_hi.(at) in
+      let gbh = cs.g_bot_hi.(at) in
+      let members = cs.g_members.(at) in
+      Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
+          let i = slot - 1 in
+          let lo = Array.unsafe_get cs.s_lo i
+          and hi = Array.unsafe_get cs.s_hi i in
+          if lo = glo && hi = ghi then begin
+            Bitvec.set members slot true;
+            if cs.s_d.(i) = d_min then cs.g_ndmin.(at) <- cs.g_ndmin.(at) + 1
+          end
+          else if glo <= lo && hi <= gbh then cs.g_b.(at) <- cs.g_b.(at) + 1)
+
+    (* Rebuild the whole index for a new minimum depth: collect the
+       distinct non-singleton depth-[d_min] intervals, then one fill sweep
+       routes every present status to its (at most one) group. *)
+    let rebuild cs d_min =
+      clear_groups cs;
+      Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
+          let i = slot - 1 in
+          if cs.s_d.(i) = d_min && cs.s_lo.(i) < cs.s_hi.(i) then
+            ignore
+              (ensure_group cs ~lo:cs.s_lo.(i) ~hi:cs.s_hi.(i) ~iv:cs.s_iv.(i)));
+      Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
+          let i = slot - 1 in
+          let lo = Array.unsafe_get cs.s_lo i
+          and hi = Array.unsafe_get cs.s_hi i in
+          let at = locate cs lo in
+          if at >= 0 && lo <= cs.g_hi.(at) then
+            if lo = cs.g_lo.(at) && hi = cs.g_hi.(at) then begin
+              Bitvec.set cs.g_members.(at) slot true;
+              if cs.s_d.(i) = d_min then cs.g_ndmin.(at) <- cs.g_ndmin.(at) + 1
+            end
+            else if hi <= cs.g_bot_hi.(at) then cs.g_b.(at) <- cs.g_b.(at) + 1);
+      cs.g_depth <- d_min
+
+    (* The minimum depth stood still: retract the change log's old
+       contributions, prune groups left without a defining reporter, then
+       add the new contributions — inserting (and wholesale-filling) any
+       group a changed status newly defines. *)
+    let apply_deltas cs d_min =
+      let remove_old ~lo ~hi ~d ~slot =
+        let at = locate cs lo in
+        if at >= 0 && lo <= cs.g_hi.(at) then
+          if lo = cs.g_lo.(at) && hi = cs.g_hi.(at) then begin
+            Bitvec.set cs.g_members.(at) slot false;
+            if d = d_min then begin
+              cs.g_ndmin.(at) <- cs.g_ndmin.(at) - 1;
+              if cs.g_ndmin.(at) = 0 then remove_group cs at
+            end
+          end
+          else if hi <= cs.g_bot_hi.(at) then cs.g_b.(at) <- cs.g_b.(at) - 1
+      in
+      for k = 0 to cs.rm_len - 1 do
+        remove_old ~lo:cs.rm_lo.(k) ~hi:cs.rm_hi.(k) ~d:cs.rm_d.(k)
+          ~slot:cs.ch_slot.(cs.ch_len + k)
+      done;
+      for k = 0 to cs.ch_len - 1 do
+        if cs.ch_old_d.(k) >= 0 then
+          remove_old ~lo:cs.ch_old_lo.(k) ~hi:cs.ch_old_hi.(k)
+            ~d:cs.ch_old_d.(k) ~slot:cs.ch_slot.(k)
+      done;
+      for k = 0 to cs.ch_len - 1 do
+        let slot = cs.ch_slot.(k) in
+        let i = slot - 1 in
+        let lo = cs.s_lo.(i) and hi = cs.s_hi.(i) and d = cs.s_d.(i) in
+        let at = locate cs lo in
+        if at >= 0 && cs.g_lo.(at) = lo && cs.g_hi.(at) = hi then begin
+          (* exact reporter of an existing group *)
+          if cs.g_fresh.(at) <> cs.stamp then begin
+            Bitvec.set cs.g_members.(at) slot true;
+            if d = d_min then cs.g_ndmin.(at) <- cs.g_ndmin.(at) + 1
+          end
+        end
+        else if at >= 0 && lo <= cs.g_hi.(at) then begin
+          (* inside a distinct group's interval *)
+          if d = d_min && lo < hi then raise Bail (* overlapping groups *)
+          else if cs.g_fresh.(at) <> cs.stamp && hi <= cs.g_bot_hi.(at) then
+            cs.g_b.(at) <- cs.g_b.(at) + 1
+        end
+        else if d = d_min && lo < hi then begin
+          (* a new depth-minimal interval: becomes a fresh group *)
+          let at = ensure_group cs ~lo ~hi ~iv:cs.s_iv.(i) in
+          fill_group cs at d_min
+        end
+      done
+
+    type outcome = Empty | Emitted of int
+
+    (* Absorb one status round and fill the sized outbox buffers with the
+       verdicts, in inbox (= ascending slot) order. *)
+    let absorb_and_emit cs (st : state) inbox =
+      cs.stamp <- cs.stamp + 1;
+      cs.ch_len <- 0;
+      cs.rm_len <- 0;
+      let m = ref 0 in
+      let ptr = ref 0 in
+      Net.Inbox.iter inbox ~f:(fun ~src msg ->
+          match msg with
+          | Msg.Status { id; iv; d; p } ->
+              incr m;
+              if id <> src || d < 0 || d >= depth_cap || p < 0 || p >= depth_cap
+              then raise Bail;
+              let k = ref !ptr in
+              let ids = cs.sorted_ids in
+              while !k < cs.cn && Array.unsafe_get ids !k < src do
+                incr k
+              done;
+              if !k >= cs.cn || Array.unsafe_get ids !k <> src then raise Bail;
+              ptr := !k;
+              let i = !k in
+              let slot = i + 1 in
+              if Bitvec.get cs.scratch slot then raise Bail;
+              Bitvec.set cs.scratch slot true;
+              let lo = iv.Interval.lo and hi = iv.Interval.hi in
+              let was = Bitvec.get cs.present slot in
+              if
+                was && cs.s_lo.(i) = lo && cs.s_hi.(i) = hi && cs.s_d.(i) = d
+                && cs.s_p.(i) = p
+              then () (* unchanged: contributes exactly as indexed *)
+              else begin
+                let j = cs.ch_len in
+                cs.ch_slot.(j) <- slot;
+                if was then begin
+                  cs.ch_old_lo.(j) <- cs.s_lo.(i);
+                  cs.ch_old_hi.(j) <- cs.s_hi.(i);
+                  cs.ch_old_d.(j) <- cs.s_d.(i);
+                  hist_remove cs cs.s_d.(i) cs.s_p.(i)
+                end
+                else cs.ch_old_d.(j) <- -1;
+                cs.ch_len <- j + 1;
+                hist_add cs d p;
+                cs.s_lo.(i) <- lo;
+                cs.s_hi.(i) <- hi;
+                cs.s_d.(i) <- d;
+                cs.s_p.(i) <- p;
+                cs.s_iv.(i) <- iv;
+                cs.s_ivb.(i) <- gamma lo + gamma (hi - lo);
+                cs.s_db.(i) <- gamma d
+              end
+          | Msg.Notify | Msg.Response _ -> ());
+      if !m = 0 then Empty
+      else begin
+        (* vanished reporters: in [present] but silent this round; their
+           slots ride in [ch_slot] past the change entries *)
+        Bitvec.iter_diff cs.present cs.scratch ~f:(fun slot ->
+            let i = slot - 1 in
+            let j = cs.rm_len in
+            cs.ch_slot.(cs.ch_len + j) <- slot;
+            cs.rm_lo.(j) <- cs.s_lo.(i);
+            cs.rm_hi.(j) <- cs.s_hi.(i);
+            cs.rm_d.(j) <- cs.s_d.(i);
+            cs.rm_len <- j + 1;
+            hist_remove cs cs.s_d.(i) cs.s_p.(i));
+        let old = cs.present in
+        cs.present <- cs.scratch;
+        cs.scratch <- old;
+        Bitvec.clear_all cs.scratch;
+        let d_min =
+          match
+            Bitvec.first_set cs.d_ne (Interval.full (Bitvec.length cs.d_ne))
+          with
+          | Some pos -> pos - 1
+          | None -> raise Bail (* unreachable: m > 0 statuses are present *)
+        in
+        if cs.p_max > st.pv then st.pv <- cs.p_max;
+        (* Delta replay wins when few statuses moved; under churn (a
+           committee killer reshuffles most reporters every round) the
+           group surgery costs more than a wholesale rebuild, so past
+           half the membership changed, rebuild. Both routines index the
+           same state identically — test/test_committee_paths.ml pins the
+           equivalence — so the threshold is pure policy. *)
+        if
+          cs.g_depth <> d_min
+          || 2 * (cs.ch_len + cs.rm_len) > Bitvec.count_all cs.present
+        then rebuild cs d_min
+        else apply_deltas cs d_min;
+        (* emission: one verdict per present slot, ascending — precomputed
+           size components make billing pure table lookups *)
+        for j = 0 to cs.g_len - 1 do
+          cs.g_cur_slot.(j) <- 0;
+          cs.g_cur_rank.(j) <- 0
+        done;
+        let pvb = gamma st.pv in
+        let d1b = gamma (d_min + 1) in
+        let k = ref 0 in
+        Bitvec.iter_set cs.present cs.full ~f:(fun slot ->
+            let i = slot - 1 in
+            let id = Array.unsafe_get cs.sorted_ids i in
+            let d = Array.unsafe_get cs.s_d i in
+            let lo = Array.unsafe_get cs.s_lo i
+            and hi = Array.unsafe_get cs.s_hi i in
+            let head = 2 + Array.unsafe_get cs.id_gamma i in
+            let msg, sz =
+              if d <> d_min then
+                ( Msg.Response { id; iv = cs.s_iv.(i); d; p = st.pv },
+                  head + cs.s_ivb.(i) + cs.s_db.(i) + pvb )
+              else if lo = hi then
+                ( Msg.Response { id; iv = cs.s_iv.(i); d = d + 1; p = st.pv },
+                  head + cs.s_ivb.(i) + d1b + pvb )
+              else begin
+                let at = locate cs lo in
+                if at < 0 || cs.g_lo.(at) <> lo || cs.g_hi.(at) <> hi then
+                  raise Bail;
+                (* rank via a cumulative range popcount: queried slots
+                   ascend, so each member word is scanned once per round *)
+                let prev = cs.g_cur_slot.(at) in
+                let add =
+                  Bitvec.count cs.g_members.(at) (Interval.make (prev + 1) slot)
+                in
+                cs.g_cur_slot.(at) <- slot;
+                let rank = cs.g_cur_rank.(at) + add in
+                cs.g_cur_rank.(at) <- rank;
+                if cs.g_b.(at) + rank <= cs.g_bot_size.(at) then
+                  ( Msg.Response
+                      { id; iv = cs.g_bot_iv.(at); d = d + 1; p = st.pv },
+                    head + cs.g_bot_ivb.(at) + d1b + pvb )
+                else
+                  ( Msg.Response
+                      { id; iv = cs.g_top_iv.(at); d = d + 1; p = st.pv },
+                    head + cs.g_top_ivb.(at) + d1b + pvb )
+              end
+            in
+            cs.out_dsts.(!k) <- id;
+            cs.out_msgs.(!k) <- msg;
+            cs.out_sizes.(!k) <- sz;
+            incr k);
+        Emitted !k
+      end
+  end
+
+  (* Figure 3: adopt the deepest (then leftmost) committee verdict; on
+     committee silence, escalate p and maybe self-elect. *)
+
+  let node_action params ~n rng st inbox =
+    let self_elect () =
+      if not st.elected then
+        st.elected <-
+          Rng.bernoulli rng (election_probability params ~n ~p:st.pv)
     in
-    node_action params ~n rng st inbox3;
-    (* Ablation: the paper re-elects only after committee silence or a p
-       bump; the [Every_phase] policy lets every node retry each phase,
-       inflating the committee over time (measured in bench E9). *)
-    (match params.reelection with
-    | On_demand -> ()
-    | Every_phase ->
-        if not st.elected then
-          st.elected <-
-            Rng.bernoulli rng (election_probability params ~n ~p:st.pv));
-    Option.iter
-      (fun t ->
-        t.on_phase_end ~phase ~id:(Net.my_id ctx) ~iv:st.iv ~d:st.dv ~p:st.pv
-          ~elected:st.elected)
-      telemetry
-  done;
-  (* Theorem 1.2: after 3·⌈log n⌉ phases every surviving node's interval
-     is a singleton — its new identity. *)
-  assert (Interval.is_singleton st.iv);
-  Interval.point st.iv
+    (* One pass over the envelopes, no intermediate tuples: the deepest,
+       then leftmost verdict (first occurrence wins ties — the same
+       element a stable sort would put first) and the maximum escalation
+       level seen. *)
+    let found = ref false in
+    let best_iv = ref st.iv and best_d = ref 0 and p_hat = ref min_int in
+    Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
+        match msg with
+        | Msg.Response { id = _; iv; d; p } ->
+            if not !found then begin
+              found := true;
+              best_iv := iv;
+              best_d := d;
+              p_hat := p
+            end
+            else begin
+              if
+                d > !best_d
+                || (d = !best_d && iv.Interval.lo < (!best_iv).Interval.lo)
+              then begin
+                best_iv := iv;
+                best_d := d
+              end;
+              if p > !p_hat then p_hat := p
+            end
+        | Msg.Notify | Msg.Status _ -> ());
+    if not !found then begin
+      st.pv <- st.pv + 1;
+      self_elect ()
+    end
+    else begin
+      if not (Interval.is_singleton st.iv) then begin
+        st.dv <- !best_d;
+        st.iv <- !best_iv
+      end;
+      if !p_hat > st.pv then begin
+        st.pv <- !p_hat;
+        self_elect ()
+      end
+    end
+
+  let program ?telemetry params ctx =
+    let n = Net.n ctx in
+    let rng = Net.rng ctx in
+    let full_iv = Interval.full (target_size params ~n) in
+    let st = { iv = full_iv; dv = 0; pv = 0; elected = false } in
+    (* Committee-id scratch buffer, reused across phases: the committee
+       list is rebuilt from every announcement inbox by each of the n
+       nodes, so building it with a fold + [List.rev] doubled the cons
+       cells of the whole round. *)
+    let cbuf = ref (Array.make 16 0) in
+    (* Flattened committee state, allocated on first election only: most
+       nodes never serve. Persists across phases — that persistence is
+       what the incremental index trades on. *)
+    let cstate = ref None in
+    let committee_state () =
+      match !cstate with
+      | Some cs -> cs
+      | None ->
+          let cs = Committee.create ~ids:(Net.all_ids ctx) in
+          cstate := Some cs;
+          cs
+    in
+    let committee_round cs inbox =
+      match Committee.absorb_and_emit cs st inbox with
+      | Committee.Empty -> Net.exchange ctx []
+      | Committee.Emitted len ->
+          Net.exchange_sized ctx ~dsts:cs.Committee.out_dsts
+            ~msgs:cs.Committee.out_msgs ~sizes:cs.Committee.out_sizes ~len
+      | exception Committee.Bail ->
+          (* Some fast-path precondition failed, possibly mid-update: drop
+             the whole incremental state and answer via the linear scan,
+             which re-reads the inbox from scratch. *)
+          Committee.reset cs;
+          Net.exchange ctx (committee_action_scan st inbox)
+    in
+    st.elected <- Rng.bernoulli rng (election_probability params ~n ~p:0);
+    for phase = 1 to phases params ~n do
+      (* Round 1: committee announcement. *)
+      let inbox1 =
+        if st.elected then Net.broadcast ctx Msg.Notify else Net.skip_round ctx
+      in
+      let ck = ref 0 in
+      Net.Inbox.iter inbox1 ~f:(fun ~src msg ->
+          match msg with
+          | Msg.Notify ->
+              (if !ck = Array.length !cbuf then begin
+                 let a = Array.make (2 * !ck) 0 in
+                 Array.blit !cbuf 0 a 0 !ck;
+                 cbuf := a
+               end);
+              (!cbuf).(!ck) <- src;
+              incr ck
+          | Msg.Status _ | Msg.Response _ -> ());
+      (* Ascending src order, one cons per member. *)
+      let committee = ref [] in
+      for i = !ck - 1 downto 0 do
+        committee := (!cbuf).(i) :: !committee
+      done;
+      let committee = !committee in
+      (* Round 2: report status to every announced committee member — one
+         message value fanned out by the engine. *)
+      let my_status =
+        Msg.Status { id = Net.my_id ctx; iv = st.iv; d = st.dv; p = st.pv }
+      in
+      let inbox2 = Net.multisend ctx ~dsts:committee my_status in
+      (* Round 3: committee verdicts out, node reaction in.  The p-hat
+         adoption that used to sit here folds into the committee pass
+         over the same inbox. *)
+      let inbox3 =
+        if st.elected then
+          match params.committee_path with
+          | Linear_scan -> Net.exchange ctx (committee_action_scan st inbox2)
+          | Rebuild_each_round ->
+              let cs = committee_state () in
+              Committee.reset cs;
+              committee_round cs inbox2
+          | Incremental ->
+              let cs = committee_state () in
+              committee_round cs inbox2
+        else Net.exchange ctx []
+      in
+      node_action params ~n rng st inbox3;
+      (* Ablation: the paper re-elects only after committee silence or a p
+         bump; the [Every_phase] policy lets every node retry each phase,
+         inflating the committee over time (measured in bench E9). *)
+      (match params.reelection with
+      | On_demand -> ()
+      | Every_phase ->
+          if not st.elected then
+            st.elected <-
+              Rng.bernoulli rng (election_probability params ~n ~p:st.pv));
+      Option.iter
+        (fun t ->
+          t.on_phase_end ~phase ~id:(Net.my_id ctx) ~iv:st.iv ~d:st.dv ~p:st.pv
+            ~elected:st.elected)
+        telemetry
+    done;
+    (* Theorem 1.2: after 3·⌈log n⌉ phases every surviving node's interval
+       is a singleton — its new identity. *)
+    assert (Interval.is_singleton st.iv);
+    Interval.point st.iv
+
+  module For_tests = struct
+    let committee_verdicts ~path ~pv ~ids rounds =
+      let st = { iv = Interval.full 1; dv = 0; pv; elected = true } in
+      let cs = Committee.create ~ids in
+      List.map
+        (fun pairs ->
+          let inbox = Net.Inbox.of_pairs_unchecked ~dst:0 pairs in
+          let scan () =
+            List.map
+              (fun (dst, msg) -> (dst, msg, Msg.bits msg))
+              (committee_action_scan st inbox)
+          in
+          match path with
+          | Linear_scan -> scan ()
+          | Rebuild_each_round | Incremental -> (
+              (match path with
+              | Rebuild_each_round -> Committee.reset cs
+              | Incremental | Linear_scan -> ());
+              match Committee.absorb_and_emit cs st inbox with
+              | Committee.Empty -> []
+              | Committee.Emitted len ->
+                  List.init len (fun k ->
+                      ( cs.Committee.out_dsts.(k),
+                        cs.Committee.out_msgs.(k),
+                        cs.Committee.out_sizes.(k) ))
+              | exception Committee.Bail ->
+                  Committee.reset cs;
+                  scan ()))
+        rounds
+
+    let state_pv ~path ~pv ~ids rounds =
+      let st = { iv = Interval.full 1; dv = 0; pv; elected = true } in
+      let cs = Committee.create ~ids in
+      List.iter
+        (fun pairs ->
+          let inbox = Net.Inbox.of_pairs_unchecked ~dst:0 pairs in
+          match path with
+          | Linear_scan -> ignore (committee_action_scan st inbox)
+          | Rebuild_each_round | Incremental -> (
+              (match path with
+              | Rebuild_each_round -> Committee.reset cs
+              | Incremental | Linear_scan -> ());
+              match Committee.absorb_and_emit cs st inbox with
+              | Committee.Empty | Committee.Emitted _ -> ()
+              | exception Committee.Bail ->
+                  Committee.reset cs;
+                  ignore (committee_action_scan st inbox)))
+        rounds;
+      st.pv
+  end
+end
+
+module Node = Make_node (Net)
+
+let program = Node.program
+
+module For_tests = Node.For_tests
 
 let run ?(params = experiment_params) ?telemetry ?crash ?tap ?on_crash
     ?on_decide ?on_round_end ?seed ?shards ~ids () =
@@ -997,54 +1064,3 @@ let run ?(params = experiment_params) ?telemetry ?crash ?tap ?on_crash
   let shards = if Option.is_some telemetry then Some 1 else shards in
   Net.run ~ids ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed ?shards
     ~program:(program ?telemetry params) ()
-
-module For_tests = struct
-  let committee_verdicts ~path ~pv ~ids rounds =
-    let st = { iv = Interval.full 1; dv = 0; pv; elected = true } in
-    let cs = Committee.create ~ids in
-    List.map
-      (fun pairs ->
-        let inbox = Net.Inbox.of_pairs_unchecked ~dst:0 pairs in
-        let scan () =
-          List.map
-            (fun (dst, msg) -> (dst, msg, Msg.bits msg))
-            (committee_action_scan st inbox)
-        in
-        match path with
-        | Linear_scan -> scan ()
-        | Rebuild_each_round | Incremental -> (
-            (match path with
-            | Rebuild_each_round -> Committee.reset cs
-            | Incremental | Linear_scan -> ());
-            match Committee.absorb_and_emit cs st inbox with
-            | Committee.Empty -> []
-            | Committee.Emitted len ->
-                List.init len (fun k ->
-                    ( cs.Committee.out_dsts.(k),
-                      cs.Committee.out_msgs.(k),
-                      cs.Committee.out_sizes.(k) ))
-            | exception Committee.Bail ->
-                Committee.reset cs;
-                scan ()))
-      rounds
-
-  let state_pv ~path ~pv ~ids rounds =
-    let st = { iv = Interval.full 1; dv = 0; pv; elected = true } in
-    let cs = Committee.create ~ids in
-    List.iter
-      (fun pairs ->
-        let inbox = Net.Inbox.of_pairs_unchecked ~dst:0 pairs in
-        match path with
-        | Linear_scan -> ignore (committee_action_scan st inbox)
-        | Rebuild_each_round | Incremental -> (
-            (match path with
-            | Rebuild_each_round -> Committee.reset cs
-            | Incremental | Linear_scan -> ());
-            match Committee.absorb_and_emit cs st inbox with
-            | Committee.Empty | Committee.Emitted _ -> ()
-            | exception Committee.Bail ->
-                Committee.reset cs;
-                ignore (committee_action_scan st inbox)))
-      rounds;
-    st.pv
-end

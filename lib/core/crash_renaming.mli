@@ -115,6 +115,16 @@ val program : ?telemetry:telemetry -> params -> Net.ctx -> int
 (** The per-node program; returns the node's new identity in [[1, n]].
     Run it through {!Net.run} or the {!run} convenience wrapper. *)
 
+(** The same node program over an arbitrary network backend: any module
+    satisfying {!Repro_net.Network_intf.S} on this protocol's message
+    type. [Make_node (Net).program] {e is} {!program} — the top-level
+    value is the instantiation at the simulator's engine — and
+    instantiating at [Repro_net.Socket_net.Host (Msg)] runs the
+    identical node code across OS processes (see [bin/net_node_cli]). *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) : sig
+  val program : ?telemetry:telemetry -> params -> Net.ctx -> int
+end
+
 val run :
   ?params:params ->
   ?telemetry:telemetry ->

@@ -62,18 +62,30 @@ let rounds_of params ~n =
 
 module Iset = Set.Make (Int)
 
-let program params ctx =
-  let n = Net.n ctx in
-  let known = ref (Iset.singleton (Net.my_id ctx)) in
-  for _ = 1 to rounds_of params ~n do
-    let inbox = Net.broadcast ctx (Msg.Known (Iset.elements !known)) in
-    Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
-        let (Msg.Known ids) = msg in
-        known := Iset.union !known (Iset.of_list ids))
-  done;
-  (* New identity: rank of the node's own identity in the common set. *)
-  let rank = Iset.cardinal (Iset.filter (fun i -> i <= Net.my_id ctx) !known) in
-  rank
+(* The flooding loop over any network backend satisfying
+   {!Repro_net.Network_intf.S} — the simulator's engine or the
+   multi-process socket transport. *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) =
+struct
+  let program params ctx =
+    let n = Net.n ctx in
+    let known = ref (Iset.singleton (Net.my_id ctx)) in
+    for _ = 1 to rounds_of params ~n do
+      let inbox = Net.broadcast ctx (Msg.Known (Iset.elements !known)) in
+      Net.Inbox.iter inbox ~f:(fun ~src:_ msg ->
+          let (Msg.Known ids) = msg in
+          known := Iset.union !known (Iset.of_list ids))
+    done;
+    (* New identity: rank of the node's own identity in the common set. *)
+    let rank =
+      Iset.cardinal (Iset.filter (fun i -> i <= Net.my_id ctx) !known)
+    in
+    rank
+end
+
+module Node = Make_node (Net)
+
+let program = Node.program
 
 let run ?(params = default_params) ?crash ?tap ?on_crash ?on_decide
     ?on_round_end ?seed ?shards ~ids () =

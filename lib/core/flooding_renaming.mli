@@ -40,6 +40,14 @@ val default_params : params
     always correct, maximal round cost. *)
 
 val program : params -> Net.ctx -> int
+
+(** The same flooding program over an arbitrary network backend
+    ({!Repro_net.Network_intf.S}); the top-level {!program} is the
+    instantiation at the simulator's engine. *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) : sig
+  val program : params -> Net.ctx -> int
+end
+
 val run :
   ?params:params ->
   ?crash:Net.crash_adversary ->

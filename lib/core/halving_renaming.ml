@@ -14,6 +14,14 @@ let params =
 
 let program ctx = Crash_renaming.program params ctx
 
+(* The same fixed-parameter instantiation over any network backend. *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) =
+struct
+  module Node = Crash_renaming.Make_node (Net)
+
+  let program ctx = Node.program params ctx
+end
+
 let run ?committee_path ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
     ?shards ~ids () =
   let params =

@@ -24,6 +24,13 @@ val params : Crash_renaming.params
     from phase one, re-elections vacuous. *)
 
 val program : Net.ctx -> int
+
+(** The fixed-parameter instantiation over an arbitrary network backend
+    ({!Repro_net.Network_intf.S}). *)
+module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) : sig
+  val program : Net.ctx -> int
+end
+
 val run :
   ?committee_path:Crash_renaming.committee_path ->
   ?crash:Net.crash_adversary ->

@@ -1,0 +1,603 @@
+module Wire = Repro_sim.Wire
+module Metrics = Repro_sim.Metrics
+module Rng = Repro_util.Rng
+
+(* Stream format version + endpoint check, first field of both handshake
+   frames; bump when the frame layout changes. *)
+let magic = 0x524e31
+
+let proto_error fmt =
+  Printf.ksprintf (fun s -> raise (Frame.Protocol_error s)) fmt
+
+module Codec = struct
+  let add_byte_string w s =
+    String.iter (fun c -> Wire.Writer.add_fixed w (Char.code c) ~width:8) s
+
+  let read_byte_string r len =
+    let b = Bytes.create len in
+    for i = 0 to len - 1 do
+      Bytes.set b i (Char.chr (Wire.Reader.read_fixed r ~width:8))
+    done;
+    Bytes.unsafe_to_string b
+
+  let add_bytes w s =
+    Wire.Writer.add_gamma w (String.length s);
+    add_byte_string w s
+
+  let read_bytes r =
+    let len = Wire.Reader.read_gamma r in
+    if len > Frame.max_frame then
+      proto_error "embedded byte string of %d bytes exceeds frame cap" len;
+    read_byte_string r len
+
+  let add_msg w (bytes, bits) =
+    if String.length bytes <> (bits + 7) / 8 then
+      invalid_arg "Socket_net.Codec.add_msg: bytes/bits mismatch";
+    Wire.Writer.add_gamma w bits;
+    add_byte_string w bytes
+
+  let read_msg r =
+    let bits = Wire.Reader.read_gamma r in
+    if bits > 8 * Frame.max_frame then
+      proto_error "embedded message of %d bits exceeds frame cap" bits;
+    (read_byte_string r ((bits + 7) / 8), bits)
+end
+
+(* Count fields precede variable-size repetitions; each counted entry
+   costs at least two bits of stream, so a count beyond the remaining
+   bits is malformed — reject it before allocating for it. *)
+let read_count r =
+  let c = Wire.Reader.read_gamma r in
+  if c > Wire.Reader.bits_remaining r then
+    proto_error "count %d exceeds remaining frame bits" c;
+  c
+
+type config = { ids : int array; seed : int; n_hosts : int; extra : string }
+
+type link_stats = {
+  link_msgs : int array array;
+  link_bits : int array array;
+}
+
+type result = {
+  run : int Repro_sim.Engine.run_result;
+  rounds : int;
+  links : link_stats;
+}
+
+(* {2 Coordinator} *)
+
+type slot_status = S_running | S_decided of int | S_crashed of int
+
+(* A slot's outbox for the round being routed, messages kept as opaque
+   (bytes, bits) — the coordinator never decodes protocol payloads. *)
+type round_outbox =
+  | No_outbox
+  | Ob_entries of (int * string * int) array  (* dst_slot, bytes, bits *)
+  | Ob_bcast of string * int
+
+let ignore_sigpipe () =
+  (* A peer dying between our read and write must surface as [EPIPE]
+     on the write, not kill the process. No-op on systems without
+     sigpipe. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Unix.Unix_error _ -> ()
+
+let serve ~listen ~config ?(latency_s = 0.) ?(jitter_s = 0.) ?overlay_fanout
+    ?(max_rounds = 100_000) ?on_message () =
+  ignore_sigpipe ();
+  let { ids; seed; n_hosts; extra } = config in
+  let n = Array.length ids in
+  if n = 0 then invalid_arg "Socket_net.serve: empty ids";
+  if seed < 0 then invalid_arg "Socket_net.serve: negative seed";
+  if n_hosts < 1 || n_hosts > n then invalid_arg "Socket_net.serve: n_hosts";
+  let ranges =
+    Array.init n_hosts (fun k -> Repro_util.Shard.range ~n ~shards:n_hosts k)
+  in
+  (* Accept + handshake: each host frames its index; ship the config. *)
+  let pending : (Unix.file_descr * Frame.io) option array =
+    Array.make n_hosts None
+  in
+  for _ = 1 to n_hosts do
+    let fd, _addr = Unix.accept listen in
+    let io = Frame.io_of_fd fd in
+    let r = Wire.Reader.of_string (Frame.read_frame io) in
+    if Wire.Reader.read_gamma r <> magic then
+      proto_error "hello: bad magic (mismatched peer?)";
+    let h = Wire.Reader.read_gamma r in
+    if h >= n_hosts then proto_error "hello: host index %d out of range" h;
+    if Option.is_some pending.(h) then
+      proto_error "hello: duplicate host index %d" h;
+    pending.(h) <- Some (fd, io)
+  done;
+  let fds = Array.map (fun p -> fst (Option.get p)) pending in
+  let ios = Array.map (fun p -> snd (Option.get p)) pending in
+  let cfg_frame =
+    let w = Wire.Writer.create () in
+    Wire.Writer.add_gamma w magic;
+    Wire.Writer.add_gamma w n;
+    Wire.Writer.add_gamma w n_hosts;
+    Wire.Writer.add_gamma w seed;
+    Array.iter (fun id -> Wire.Writer.add_gamma w id) ids;
+    Codec.add_bytes w extra;
+    Wire.Writer.contents w
+  in
+  Array.iter (fun io -> Frame.write_frame io cfg_frame) ios;
+  (* Round state. *)
+  let status = Array.make n S_running in
+  let outboxes = Array.make n No_outbox in
+  let deliveries : (int * string * int) list array = Array.make n [] in
+  let alive = Array.make n_hosts true in
+  let metrics = Metrics.create () in
+  let link_msgs = Array.init n (fun _ -> Array.make n 0) in
+  let link_bits = Array.init n (fun _ -> Array.make n 0) in
+  let current_round = ref 0 in
+  (* Delivery iterates senders in ascending identity order, like the
+     engine, so every recipient's inbox arrives sorted by source id. *)
+  let order = Array.init n (fun s -> s) in
+  Array.sort (fun a b -> Int.compare ids.(a) ids.(b)) order;
+  (* Coordinator-private stream for the jitter/overlay knobs, derived
+     away from the node streams (which split off [of_seed seed]). *)
+  let knob_rng = Rng.of_seed (seed lxor 0x6e6574) in
+  let bill src dst bits =
+    link_msgs.(src).(dst) <- link_msgs.(src).(dst) + 1;
+    link_bits.(src).(dst) <- link_bits.(src).(dst) + bits;
+    Metrics.add_honest metrics ~bits;
+    match on_message with Some f -> f ~src ~dst ~bits | None -> ()
+  in
+  let push dst entry =
+    match status.(dst) with
+    | S_running -> deliveries.(dst) <- entry :: deliveries.(dst)
+    | S_decided _ | S_crashed _ -> ()
+  in
+  let kill_host h =
+    alive.(h) <- false;
+    (try Unix.close fds.(h) with Unix.Unix_error _ -> ());
+    let lo, hi = ranges.(h) in
+    for s = lo to hi - 1 do
+      match status.(s) with
+      | S_running ->
+          status.(s) <- S_crashed !current_round;
+          Metrics.record_crash metrics;
+          outboxes.(s) <- No_outbox
+      | S_decided _ | S_crashed _ -> ()
+    done
+  in
+  let parse_host_frame h payload =
+    let lo, hi = ranges.(h) in
+    let r = Wire.Reader.of_string payload in
+    let round = Wire.Reader.read_gamma r in
+    if round <> !current_round then
+      proto_error "host %d is at round %d, coordinator at %d" h round
+        !current_round;
+    for s = lo to hi - 1 do
+      match Wire.Reader.read_gamma r with
+      | 0 ->
+          (match status.(s) with
+          | S_running -> proto_error "host %d: running slot %d sent no outbox" h s
+          | S_decided _ | S_crashed _ -> ());
+          outboxes.(s) <- No_outbox
+      | 1 ->
+          let v = Wire.Reader.read_gamma r in
+          (match status.(s) with
+          | S_running -> status.(s) <- S_decided v
+          | S_decided _ | S_crashed _ ->
+              proto_error "host %d: decision for non-running slot %d" h s);
+          outboxes.(s) <- No_outbox
+      | 2 ->
+          let c = read_count r in
+          let entries = Array.make c (0, "", 0) in
+          for j = 0 to c - 1 do
+            let dst = Wire.Reader.read_gamma r in
+            if dst >= n then proto_error "host %d: destination slot %d" h dst;
+            let bytes, bits = Codec.read_msg r in
+            entries.(j) <- (dst, bytes, bits)
+          done;
+          outboxes.(s) <- Ob_entries entries
+      | 3 ->
+          let bytes, bits = Codec.read_msg r in
+          outboxes.(s) <- Ob_bcast (bytes, bits)
+      | t -> proto_error "host %d: unknown outbox tag %d" h t
+    done
+  in
+  (* Broadcast billing under the sparse-overlay knob: a deterministic
+     epidemic from the sender, every informed node pushing to [fanout]
+     rng-chosen peers per hop until everyone is informed. Redundant
+     transmissions are billed (that is the cost model being studied);
+     delivery itself stays complete and is handled by the caller. The
+     forced push keeps termination unconditional even for fanout 1. *)
+  let gossip_bill src bits fanout =
+    let informed = Array.make n false in
+    informed.(src) <- true;
+    let count = ref 1 in
+    let frontier = ref [ src ] in
+    while !count < n do
+      let next = ref [] in
+      List.iter
+        (fun relay ->
+          for _ = 1 to fanout do
+            let t = Rng.int knob_rng n in
+            bill relay t bits;
+            if not informed.(t) then begin
+              informed.(t) <- true;
+              incr count;
+              next := t :: !next
+            end
+          done)
+        !frontier;
+      (match !next with
+      | [] when !count < n ->
+          let u = ref (-1) in
+          for d = n - 1 downto 0 do
+            if not informed.(d) then u := d
+          done;
+          bill src !u bits;
+          informed.(!u) <- true;
+          incr count;
+          next := [ !u ]
+      | _ -> ());
+      frontier := List.rev !next
+    done
+  in
+  let route () =
+    Array.iter
+      (fun s ->
+        match outboxes.(s) with
+        | No_outbox -> ()
+        | Ob_entries entries ->
+            Array.iter
+              (fun (dst, bytes, bits) ->
+                bill s dst bits;
+                push dst (s, bytes, bits))
+              entries
+        | Ob_bcast (bytes, bits) -> (
+            (* Like the engine: bill all n links (including self and
+               already-finished recipients), deliver to live ones. *)
+            (match overlay_fanout with
+            | None ->
+                for d = 0 to n - 1 do
+                  bill s d bits
+                done
+            | Some k -> gossip_bill s bits k);
+            for d = 0 to n - 1 do
+              push d (s, bytes, bits)
+            done))
+      order;
+    Array.fill outboxes 0 n No_outbox
+  in
+  let reply_frame h ~stop =
+    let lo, hi = ranges.(h) in
+    let w = Wire.Writer.create () in
+    Wire.Writer.add_gamma w !current_round;
+    Wire.Writer.add_gamma w (if stop then 1 else 0);
+    if not stop then
+      for s = lo to hi - 1 do
+        let entries = List.rev deliveries.(s) in
+        Wire.Writer.add_gamma w (List.length entries);
+        List.iter
+          (fun (src, bytes, bits) ->
+            Wire.Writer.add_gamma w src;
+            Codec.add_msg w (bytes, bits))
+          entries
+      done;
+    Wire.Writer.contents w
+  in
+  let send_replies ~stop =
+    for h = 0 to n_hosts - 1 do
+      if alive.(h) then
+        try Frame.write_frame ios.(h) (reply_frame h ~stop)
+        with Unix.Unix_error _ | Frame.Protocol_error _ -> kill_host h
+    done
+  in
+  let any_running () =
+    Array.exists (function S_running -> true | _ -> false) status
+  in
+  let rec loop () =
+    if !current_round >= max_rounds then ()
+    else begin
+      for h = 0 to n_hosts - 1 do
+        if alive.(h) then
+          match Frame.read_frame ios.(h) with
+          | payload -> (
+              try parse_host_frame h payload
+              with Frame.Protocol_error _ | Invalid_argument _ -> kill_host h)
+          | exception (Frame.Protocol_error _ | Unix.Unix_error _) ->
+              kill_host h
+      done;
+      if any_running () then begin
+        route ();
+        Metrics.end_round metrics;
+        if latency_s > 0. || jitter_s > 0. then begin
+          let pause =
+            latency_s
+            +. (if jitter_s > 0. then jitter_s *. Rng.float knob_rng else 0.)
+          in
+          if pause > 0. then Unix.sleepf pause
+        end;
+        send_replies ~stop:false;
+        Array.fill deliveries 0 n [];
+        incr current_round;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  send_replies ~stop:true;
+  Array.iteri
+    (fun h fd ->
+      if alive.(h) then try Unix.close fd with Unix.Unix_error _ -> ())
+    fds;
+  let outcomes =
+    Array.to_list
+      (Array.mapi
+         (fun s st ->
+           ( ids.(s),
+             match st with
+             | S_decided v -> Repro_sim.Engine.Decided v
+             | S_crashed r -> Repro_sim.Engine.Crashed r
+             | S_running -> Repro_sim.Engine.Unfinished ))
+         status)
+  in
+  {
+    run = { Repro_sim.Engine.outcomes; metrics };
+    rounds = !current_round;
+    links = { link_msgs; link_bits };
+  }
+
+(* {2 Host} *)
+
+module Host (M : Network_intf.WIRE_MSG) = struct
+  type msg = M.t
+
+  type inbox = { ib_src : int array; ib_msg : M.t array; ib_len : int }
+
+  module Inbox = struct
+    type t = inbox
+
+    let length t = t.ib_len
+
+    let iter t ~f =
+      for i = 0 to t.ib_len - 1 do
+        f ~src:t.ib_src.(i) t.ib_msg.(i)
+      done
+
+    let fold t ~init ~f =
+      let acc = ref init in
+      for i = 0 to t.ib_len - 1 do
+        acc := f !acc ~src:t.ib_src.(i) t.ib_msg.(i)
+      done;
+      !acc
+
+    let fold_rev t ~init ~f =
+      let acc = ref init in
+      for i = t.ib_len - 1 downto 0 do
+        acc := f !acc ~src:t.ib_src.(i) t.ib_msg.(i)
+      done;
+      !acc
+
+    let pairs t =
+      fold_rev t ~init:[] ~f:(fun acc ~src msg -> (src, msg) :: acc)
+
+    let of_pairs_unchecked ~dst:_ pairs =
+      match pairs with
+      | [] -> { ib_src = [||]; ib_msg = [||]; ib_len = 0 }
+      | (_, m0) :: _ ->
+          let len = List.length pairs in
+          let ib_src = Array.make len 0 in
+          let ib_msg = Array.make len m0 in
+          List.iteri
+            (fun i (src, m) ->
+              ib_src.(i) <- src;
+              ib_msg.(i) <- m)
+            pairs;
+          { ib_src; ib_msg; ib_len = len }
+  end
+
+  type outbox =
+    | Ob_list of (int * M.t) list
+    | Ob_sized of { dsts : int array; msgs : M.t array; len : int }
+    | Ob_bcast of M.t
+
+  type ctx = {
+    slot : int;
+    ids : int array;
+    id_to_slot : (int, int) Hashtbl.t;
+    node_rng : Rng.t;
+    current_round : int ref;
+  }
+
+  type _ Effect.t += Exchange : outbox -> inbox Effect.t
+
+  let my_id ctx = ctx.ids.(ctx.slot)
+  let n ctx = Array.length ctx.ids
+  let all_ids ctx = ctx.ids
+  let round ctx = !(ctx.current_round)
+  let rng ctx = ctx.node_rng
+  let exchange _ctx l = Effect.perform (Exchange (Ob_list l))
+
+  let multisend _ctx ~dsts m =
+    Effect.perform (Exchange (Ob_list (List.map (fun d -> (d, m)) dsts)))
+
+  let broadcast _ctx m = Effect.perform (Exchange (Ob_bcast m))
+  let skip_round _ctx = Effect.perform (Exchange (Ob_list []))
+
+  let exchange_sized _ctx ~dsts ~msgs ~sizes:_ ~len =
+    (* Sizes are recomputed from the exact codec at frame build; the
+       [sizes.(k) = bits msgs.(k)] contract makes that the same bill.
+       Holding the caller's arrays is safe: they are read before the
+       continuation resumes, i.e. before this call returns. *)
+    Effect.perform (Exchange (Ob_sized { dsts; msgs; len }))
+
+  type step =
+    | Done of int
+    | Yield of outbox * (inbox, step) Effect.Deep.continuation
+
+  let start_fiber program ctx : step =
+    Effect.Deep.match_with
+      (fun () -> Done (program ctx))
+      ()
+      {
+        retc = Fun.id;
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Exchange outbox ->
+                Some
+                  (fun (k : (a, _) Effect.Deep.continuation) ->
+                    Yield (outbox, k))
+            | _ -> None);
+      }
+
+  let slot_of ctx_tbl dst =
+    match Hashtbl.find_opt ctx_tbl dst with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Socket_net: destination %d is not a participant"
+             dst)
+
+  let encode_outbox w ~id_to_slot = function
+    | Ob_bcast m ->
+        Wire.Writer.add_gamma w 3;
+        Codec.add_msg w (M.encode m)
+    | Ob_list l ->
+        Wire.Writer.add_gamma w 2;
+        Wire.Writer.add_gamma w (List.length l);
+        (* Multisend fans one physical message value out; encode once. *)
+        let last = ref None in
+        List.iter
+          (fun (dst, m) ->
+            Wire.Writer.add_gamma w (slot_of id_to_slot dst);
+            let enc =
+              match !last with
+              | Some (m0, e0) when m0 == m -> e0
+              | _ ->
+                  let e = M.encode m in
+                  last := Some (m, e);
+                  e
+            in
+            Codec.add_msg w enc)
+          l
+    | Ob_sized { dsts; msgs; len } ->
+        Wire.Writer.add_gamma w 2;
+        Wire.Writer.add_gamma w len;
+        for j = 0 to len - 1 do
+          Wire.Writer.add_gamma w (slot_of id_to_slot dsts.(j));
+          Codec.add_msg w (M.encode msgs.(j))
+        done
+
+  let empty_inbox = { ib_src = [||]; ib_msg = [||]; ib_len = 0 }
+
+  let read_inbox r ~ids =
+    let c = read_count r in
+    if c = 0 then empty_inbox
+    else begin
+      let decode_entry () =
+        let src = Wire.Reader.read_gamma r in
+        if src >= Array.length ids then proto_error "source slot %d" src;
+        let bytes, _bits = Codec.read_msg r in
+        match M.decode bytes with
+        | Some m -> (ids.(src), m)
+        | None -> proto_error "undecodable message from slot %d" src
+      in
+      let src0, m0 = decode_entry () in
+      let ib_src = Array.make c src0 in
+      let ib_msg = Array.make c m0 in
+      for i = 1 to c - 1 do
+        let src, m = decode_entry () in
+        ib_src.(i) <- src;
+        ib_msg.(i) <- m
+      done;
+      { ib_src; ib_msg; ib_len = c }
+    end
+
+  let run ~fd ~host_index ~program =
+    ignore_sigpipe ();
+    let io = Frame.io_of_fd fd in
+    let hello =
+      let w = Wire.Writer.create () in
+      Wire.Writer.add_gamma w magic;
+      Wire.Writer.add_gamma w host_index;
+      Wire.Writer.contents w
+    in
+    Frame.write_frame io hello;
+    let r = Wire.Reader.of_string (Frame.read_frame io) in
+    if Wire.Reader.read_gamma r <> magic then
+      proto_error "config: bad magic (mismatched peer?)";
+    let n = Wire.Reader.read_gamma r in
+    let n_hosts = Wire.Reader.read_gamma r in
+    let seed = Wire.Reader.read_gamma r in
+    if n = 0 || n_hosts < 1 || host_index >= n_hosts then
+      proto_error "config: n=%d n_hosts=%d host_index=%d" n n_hosts host_index;
+    let ids = Array.make n 0 in
+    for s = 0 to n - 1 do
+      ids.(s) <- Wire.Reader.read_gamma r
+    done;
+    let extra = Codec.read_bytes r in
+    let lo, hi = Repro_util.Shard.range ~n ~shards:n_hosts host_index in
+    let id_to_slot = Hashtbl.create (2 * n) in
+    Array.iteri
+      (fun s id ->
+        if Hashtbl.mem id_to_slot id then
+          proto_error "config: duplicate identity %d" id;
+        Hashtbl.add id_to_slot id s)
+      ids;
+    let current_round = ref 0 in
+    let prog = program ~extra in
+    (* Fibers hold their outbox + continuation; freshly decided results
+       are reported in the next frame, then the slot goes idle. *)
+    let states :
+        (outbox * (inbox, step) Effect.Deep.continuation) option array =
+      Array.make n None
+    in
+    let fresh : int option array = Array.make n None in
+    let settle s = function
+      | Done v -> fresh.(s) <- Some v
+      | Yield (outbox, k) -> states.(s) <- Some (outbox, k)
+    in
+    (* Split the master stream once per slot in global slot order — the
+       exact derivation the engine performs — keeping only our slice. *)
+    let master = Rng.of_seed seed in
+    for s = 0 to n - 1 do
+      let node_rng = Rng.split master in
+      if s >= lo && s < hi then
+        let ctx = { slot = s; ids; id_to_slot; node_rng; current_round } in
+        settle s (start_fiber prog ctx)
+    done;
+    let inboxes = Array.make n empty_inbox in
+    let continue_running = ref true in
+    while !continue_running do
+      let w = Wire.Writer.create () in
+      Wire.Writer.add_gamma w !current_round;
+      for s = lo to hi - 1 do
+        match (fresh.(s), states.(s)) with
+        | Some v, _ ->
+            Wire.Writer.add_gamma w 1;
+            Wire.Writer.add_gamma w v;
+            fresh.(s) <- None
+        | None, None -> Wire.Writer.add_gamma w 0
+        | None, Some (outbox, _) -> encode_outbox w ~id_to_slot outbox
+      done;
+      Frame.write_frame io (Wire.Writer.contents w);
+      let r = Wire.Reader.of_string (Frame.read_frame io) in
+      let round = Wire.Reader.read_gamma r in
+      if round <> !current_round then
+        proto_error "reply for round %d at round %d" round !current_round;
+      if Wire.Reader.read_gamma r = 1 then continue_running := false
+      else begin
+        for s = lo to hi - 1 do
+          inboxes.(s) <- read_inbox r ~ids
+        done;
+        incr current_round;
+        for s = lo to hi - 1 do
+          match states.(s) with
+          | Some (_, k) ->
+              states.(s) <- None;
+              settle s (Effect.Deep.continue k inboxes.(s));
+              inboxes.(s) <- empty_inbox
+          | None -> ()
+        done
+      end
+    done
+end

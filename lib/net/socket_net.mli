@@ -1,0 +1,125 @@
+(** Multi-process socket backend for {!Network_intf.S}.
+
+    Topology is a star: one {e coordinator} process owns the round
+    barrier, message routing and all bit accounting; [n_hosts] {e host}
+    processes each run a contiguous slice of the node fibers (the same
+    [Repro_util.Shard.range] partition the simulator's shards use) and
+    talk to the coordinator over length-prefixed {!Frame}s carrying the
+    protocols' existing [Wire] codecs.
+
+    Each round: every host sends one frame batching its slice's
+    outboxes (and freshly decided results); the coordinator bills every
+    message — per (src, dst) link and into the same {!Repro_sim.Metrics}
+    rows the simulator fills — routes deliveries in ascending source
+    identity order, and answers each host with its slice's inboxes. A
+    host connection failing mid-round maps to [Crashed round] for every
+    node still running on it; everyone else keeps going.
+
+    Determinism: per-node rngs are [Rng.split] off the seed in slot
+    order exactly as the simulator derives them, and delivery order is
+    ascending source identity — so a fault-free socket run computes the
+    same assignments, message count and bit count as the simulator.
+    Wall-clock (and the latency/jitter knob) never feeds back into
+    protocol behaviour. *)
+
+type config = {
+  ids : int array;  (** all participants' identities, slot-indexed *)
+  seed : int;  (** run seed; must be non-negative (it crosses the wire) *)
+  n_hosts : int;
+  extra : string;
+      (** opaque application blob shipped to every host at handshake —
+          the CLI uses it to carry protocol parameters, so only the
+          coordinator command line chooses them *)
+}
+
+type link_stats = {
+  link_msgs : int array array;  (** [.(src_slot).(dst_slot)] messages *)
+  link_bits : int array array;  (** [.(src_slot).(dst_slot)] billed bits *)
+}
+
+type result = {
+  run : int Repro_sim.Engine.run_result;
+      (** outcomes (slot order) + metrics, the shape [Runner.assess]
+          and the [lib/check] oracles consume *)
+  rounds : int;
+  links : link_stats;
+}
+
+val serve :
+  listen:Unix.file_descr ->
+  config:config ->
+  ?latency_s:float ->
+  ?jitter_s:float ->
+  ?overlay_fanout:int ->
+  ?max_rounds:int ->
+  ?on_message:(src:int -> dst:int -> bits:int -> unit) ->
+  unit ->
+  result
+(** Accept [config.n_hosts] host connections on [listen] (already bound
+    and listening), handshake, then run rounds until every node decided
+    or crashed. [latency_s]/[jitter_s] sleep before each round's
+    replies (jitter drawn from a seed-derived rng — deterministic);
+    [overlay_fanout] replaces full-mesh broadcast {e billing} with a
+    seed-deterministic gossip relay tree of that fan-out (delivery stays
+    complete; only the per-link cost model changes). [on_message] fires
+    per billed message with slot indices — the billing hook the CLI
+    wires to the [lib/check] oracles. Nodes still running at
+    [max_rounds] (default 100_000) are reported [Unfinished]. *)
+
+(** Host-process side: the node programs' network, plus the runtime that
+    drives them. The module satisfies {!Network_intf.S} (structurally),
+    so a protocol's [Make_node] functor applies to it directly. *)
+module Host (M : Network_intf.WIRE_MSG) : sig
+  type msg = M.t
+  type ctx
+  type inbox
+
+  module Inbox : sig
+    type t = inbox
+
+    val length : t -> int
+    val iter : t -> f:(src:int -> msg -> unit) -> unit
+    val fold : t -> init:'a -> f:('a -> src:int -> msg -> 'a) -> 'a
+    val fold_rev : t -> init:'a -> f:('a -> src:int -> msg -> 'a) -> 'a
+    val pairs : t -> (int * msg) list
+    val of_pairs_unchecked : dst:int -> (int * msg) list -> t
+  end
+
+  val my_id : ctx -> int
+  val n : ctx -> int
+  val all_ids : ctx -> int array
+  val round : ctx -> int
+  val rng : ctx -> Repro_util.Rng.t
+  val exchange : ctx -> (int * msg) list -> inbox
+  val multisend : ctx -> dsts:int list -> msg -> inbox
+  val broadcast : ctx -> msg -> inbox
+  val skip_round : ctx -> inbox
+
+  val exchange_sized :
+    ctx -> dsts:int array -> msgs:msg array -> sizes:int array -> len:int ->
+    inbox
+
+  val run :
+    fd:Unix.file_descr ->
+    host_index:int ->
+    program:(extra:string -> ctx -> int) ->
+    unit
+  (** Handshake on the connected [fd], then run this host's slice of
+      fibers to completion. [program] receives the coordinator's
+      [config.extra] blob (protocol parameters) before any fiber
+      starts. Raises {!Frame.Protocol_error} / [Unix.Unix_error] if the
+      coordinator goes away — callers (one process per host) just let
+      that kill the process, which the coordinator maps to crashes. *)
+end
+
+(** Wire-stream helpers shared by both sides; exposed for the frame
+    robustness tests. *)
+module Codec : sig
+  val add_bytes : Repro_sim.Wire.Writer.t -> string -> unit
+  val read_bytes : Repro_sim.Wire.Reader.t -> string
+
+  val add_msg : Repro_sim.Wire.Writer.t -> string * int -> unit
+  (** [(bytes, bits)] as returned by the protocols' [Msg.encode]. *)
+
+  val read_msg : Repro_sim.Wire.Reader.t -> string * int
+end

@@ -19,6 +19,10 @@ module type MSG = sig
 end
 
 module Make (M : MSG) = struct
+  type msg = M.t
+  (* Named so the module satisfies [Repro_net.Network_intf.S]
+     structurally (the functored protocol wrappers close over it). *)
+
   type envelope = { src : int; dst : int; msg : M.t }
 
   (* The protocol-facing inbox: an allocation-free view over two
@@ -831,24 +835,43 @@ module Make (M : MSG) = struct
       in
       let bill_msgs = Array.make pool_shards 0 in
       let bill_bits = Array.make pool_shards 0 in
-      (* Per-shard copies of the round's shared broadcast table. *)
-      let sh_srcs = Array.make pool_shards [||] in
-      let sh_msgs : M.t array array = Array.make pool_shards [||] in
-      let sh_lens = Array.make pool_shards 0 in
-      let shard_push k src msg =
-        let len = sh_lens.(k) in
-        if len = Array.length sh_srcs.(k) then begin
+      (* The round's fast-path broadcast table: built once, sequentially,
+         on the main domain before the transmit phase, then read in place
+         by every shard. The shards used to each build their own copy
+         inside [deliver_shard]; at large n the duplicated construction
+         and the copies' extra working set cost more than the delivery
+         they fed. The pool's phase barrier publishes main's writes
+         before any shard reads, and main only mutates the table between
+         pool phases, so the snapshot needs no freezing beyond that. *)
+      let bb_src = ref [||] and bb_msg = ref ([||] : M.t array) in
+      let bb_len = ref 0 in
+      let bb_push src msg =
+        let len = !bb_len in
+        if len = Array.length !bb_src then begin
           let cap = max 16 (2 * len) in
           let nsrc = Array.make cap 0 in
-          Array.blit sh_srcs.(k) 0 nsrc 0 len;
-          sh_srcs.(k) <- nsrc;
+          Array.blit !bb_src 0 nsrc 0 len;
+          bb_src := nsrc;
           let nmsg = Array.make cap msg in
-          Array.blit sh_msgs.(k) 0 nmsg 0 len;
-          sh_msgs.(k) <- nmsg
+          Array.blit !bb_msg 0 nmsg 0 len;
+          bb_msg := nmsg
         end;
-        sh_srcs.(k).(len) <- src;
-        sh_msgs.(k).(len) <- msg;
-        sh_lens.(k) <- len + 1
+        !bb_src.(len) <- src;
+        !bb_msg.(len) <- msg;
+        bb_len := len + 1
+      in
+      (* Same senders, same ascending-id order as the sequential loop's
+         [shared_push] calls: fast-path broadcasts are exactly the
+         [Broadcast] yields with no materialized envelopes. *)
+      let build_broadcast_table () =
+        bb_len := 0;
+        Array.iter
+          (fun s ->
+            match states.(s) with
+            | Running (Yield (Broadcast m, _)) when pre_envs.(s) = None ->
+                bb_push ids.(s) m
+            | _ -> ())
+          order
       in
       let decided : int list array = Array.make pool_shards [] in
       let finished_counts = Array.make pool_shards 0 in
@@ -1045,8 +1068,7 @@ module Make (M : MSG) = struct
         bill_msgs.(k) <- !msgs;
         bill_bits.(k) <- !bits
       in
-      let deliver_shard k lo hi =
-        sh_lens.(k) <- 0;
+      let deliver_shard lo hi =
         Array.iter
           (fun s ->
             match states.(s) with
@@ -1073,7 +1095,10 @@ module Make (M : MSG) = struct
                 | None -> (
                     let src = ids.(s) in
                     match out with
-                    | Broadcast m -> shard_push k src m
+                    | Broadcast _ ->
+                        (* Already staged in the shared table by
+                           [build_broadcast_table] on main. *)
+                        ()
                     | Multisend (dsts, m) ->
                         List.iter
                           (fun dst -> push_owned lo hi (find_slot dst) src m)
@@ -1098,12 +1123,12 @@ module Make (M : MSG) = struct
       let phase_a k =
         let lo, hi = ranges.(k) in
         if not tap_present then bill_shard k lo hi;
-        deliver_shard k lo hi
+        deliver_shard lo hi
       in
       let phase_b k =
         let lo, hi = ranges.(k) in
-        let cur_src = sh_srcs.(k) and cur_msg = sh_msgs.(k) in
-        let cur_len = sh_lens.(k) in
+        let cur_src = !bb_src and cur_msg = !bb_msg in
+        let cur_len = !bb_len in
         for s = lo to hi - 1 do
           match states.(s) with
           | Running _ | Byz_node ->
@@ -1179,6 +1204,7 @@ module Make (M : MSG) = struct
               order;
           (* 3. Transmit. *)
           if tap_present then bill_and_tap_main ();
+          build_broadcast_table ();
           Repro_util.Domain_pool.run pool phase_a;
           if not tap_present then
             for k = 0 to pool_shards - 1 do

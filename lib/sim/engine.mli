@@ -62,6 +62,12 @@ module type MSG = sig
 end
 
 module Make (M : MSG) : sig
+  type msg = M.t
+  (** Alias naming the message type, so the module satisfies
+      [Repro_net.Network_intf.S] structurally — protocol wrappers are
+      functors over that interface and this engine is their
+      deterministic reference backend. *)
+
   type envelope = { src : int; dst : int; msg : M.t }
 
   (** {1 Node-side API} *)

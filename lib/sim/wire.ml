@@ -102,17 +102,53 @@ module Reader = struct
 
   let read_fixed t ~width =
     if width < 0 || width > 62 then invalid_arg "Wire.Reader.read_fixed: width";
-    let v = ref 0 in
-    for _ = 1 to width do
-      v := (!v lsl 1) lor if read_bit t then 1 else 0
-    done;
-    !v
+    if width < 8 then begin
+      let v = ref 0 in
+      for _ = 1 to width do
+        v := (!v lsl 1) lor if read_bit t then 1 else 0
+      done;
+      !v
+    end
+    else begin
+      (* Byte-aligned fast path, mirroring [Writer.add_fixed]: consume
+         whole bytes (msb first) straddling at most two input bytes each,
+         then finish the remaining [width mod 8] bits bit-by-bit. The
+         whole field is bounds-checked up front, so [pos + 8 <= 8*len]
+         holds inside the loop and (for a straddle, [o > 0]) byte [i+1]
+         exists: [8i + o + 8 <= 8*len] with [o >= 1] gives [i+1 < len]. *)
+      if t.pos + width > 8 * String.length t.data then
+        invalid_arg "Wire.Reader: out of bits";
+      let data = t.data in
+      let v = ref 0 in
+      let w = ref width in
+      while !w >= 8 do
+        let pos = t.pos in
+        let i = pos lsr 3 and o = pos land 7 in
+        let b =
+          if o = 0 then Char.code (String.unsafe_get data i)
+          else
+            let hi = Char.code (String.unsafe_get data i) in
+            let lo = Char.code (String.unsafe_get data (i + 1)) in
+            ((hi lsl o) lor (lo lsr (8 - o))) land 0xff
+        in
+        v := (!v lsl 8) lor b;
+        t.pos <- pos + 8;
+        w := !w - 8
+      done;
+      for _ = 1 to !w do
+        v := (!v lsl 1) lor if read_bit t then 1 else 0
+      done;
+      !v
+    end
 
   let read_gamma t =
     let k = ref 0 in
     while not (read_bit t) do
       incr k;
-      if !k > 62 then invalid_arg "Wire.Reader: gamma"
+      (* The writer can never emit k > 61 ([add_gamma] caps at
+         [floor_log2 max_int] = 61); accepting k = 62 would compute
+         [(1 lsl 62) lor rest], which wraps negative on 63-bit ints. *)
+      if !k > 61 then invalid_arg "Wire.Reader: gamma"
     done;
     (* The leading 1 already consumed is the top bit of the value. *)
     let rest = read_fixed t ~width:!k in

@@ -1,0 +1,196 @@
+(* Multi-process socket-transport tests: a coordinator over real forked
+   host processes, exercising mid-round host failures and fault-free
+   billing. These live in their own test binary because OCaml 5 forbids
+   [Unix.fork] in any process that has ever spawned a domain — and the
+   main suite's shard/parallel tests do. *)
+
+module Frame = Repro_net.Frame
+module SN = Repro_net.Socket_net
+module Wire = Repro_sim.Wire
+module Engine = Repro_sim.Engine
+
+module TMsg = struct
+  type t = Ping of int
+
+  let bits (Ping v) = Wire.gamma_bits v
+
+  let pp ppf (Ping v) = Format.fprintf ppf "ping(%d)" v
+
+  let encode (Ping v) =
+    let w = Wire.Writer.create () in
+    Wire.Writer.add_gamma w v;
+    (Wire.Writer.contents w, Wire.Writer.bit_length w)
+
+  let decode s =
+    match Wire.Reader.read_gamma (Wire.Reader.of_string s) with
+    | v -> Some (Ping v)
+    | exception Invalid_argument _ -> None
+end
+
+module H = SN.Host (TMsg)
+
+let listen_ephemeral () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  (fd, port)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+(* Fork a child host; it must never return into the test runner. *)
+let fork_host port ~host_index ~program =
+  match Unix.fork () with
+  | 0 ->
+      (try
+         H.run ~fd:(connect port) ~host_index ~program;
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+  | pid -> pid
+
+let good_program ~extra:_ ctx =
+  for r = 1 to 3 do
+    ignore (H.broadcast ctx (TMsg.Ping r))
+  done;
+  100 + H.my_id ctx
+
+let reap pids =
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids
+
+let run_with_failing_host ~bad =
+  let listen, port = listen_ephemeral () in
+  let ids = [| 11; 22; 33; 44 |] in
+  let config = { SN.ids; seed = 5; n_hosts = 2; extra = "" } in
+  let bad_pid = bad port in
+  let good_pid = fork_host port ~host_index:1 ~program:good_program in
+  let res = SN.serve ~listen ~config ~max_rounds:50 () in
+  Unix.close listen;
+  reap [ bad_pid; good_pid ];
+  res
+
+let check_outcomes (res : SN.result) ~crash_round =
+  (* host 0 owns slots 0-1 (ids 11, 22), host 1 slots 2-3 (33, 44) *)
+  List.iter
+    (fun (id, outcome) ->
+      match (id, outcome) with
+      | (11 | 22), Engine.Crashed r ->
+          Alcotest.(check int)
+            (Printf.sprintf "node %d crash round" id)
+            crash_round r
+      | (33 | 44), Engine.Decided v ->
+          Alcotest.(check int)
+            (Printf.sprintf "node %d decision" id)
+            (100 + id) v
+      | id, _ -> Alcotest.fail (Printf.sprintf "node %d: wrong outcome" id))
+    res.SN.run.Engine.outcomes
+
+let test_disconnect_at_start () =
+  let bad port =
+    (* Handshakes correctly, then vanishes before its first round frame:
+       the coordinator must see EOF at round 0 and crash slots 0-1. *)
+    match Unix.fork () with
+    | 0 ->
+        (try
+           let fd = connect port in
+           let io = Frame.io_of_fd fd in
+           let w = Wire.Writer.create () in
+           Wire.Writer.add_gamma w 0x524e31;
+           Wire.Writer.add_gamma w 0;
+           Frame.write_frame io (Wire.Writer.contents w);
+           ignore (Frame.read_frame io);
+           Unix.close fd;
+           Unix._exit 0
+         with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  let res = run_with_failing_host ~bad in
+  check_outcomes res ~crash_round:0
+
+let test_disconnect_mid_run () =
+  let bad port =
+    (* Behaves for one full round, then its program raises: the process
+       dies between rounds and the coordinator crashes its slots at
+       round 1. *)
+    fork_host port ~host_index:0 ~program:(fun ~extra:_ ctx ->
+        ignore (H.broadcast ctx (TMsg.Ping 9));
+        failwith "dying mid-run")
+  in
+  let res = run_with_failing_host ~bad in
+  check_outcomes res ~crash_round:1
+
+let test_protocol_violation () =
+  let bad port =
+    (* Sends a syntactically valid frame that violates the round
+       contract (idle tag for a running slot): the coordinator must
+       treat it exactly like a disconnect. *)
+    match Unix.fork () with
+    | 0 ->
+        (try
+           let fd = connect port in
+           let io = Frame.io_of_fd fd in
+           let w = Wire.Writer.create () in
+           Wire.Writer.add_gamma w 0x524e31;
+           Wire.Writer.add_gamma w 0;
+           Frame.write_frame io (Wire.Writer.contents w);
+           ignore (Frame.read_frame io);
+           let w = Wire.Writer.create () in
+           Wire.Writer.add_gamma w 0;
+           (* round *)
+           Wire.Writer.add_gamma w 0;
+           (* slot 0: idle — but it is Running *)
+           Wire.Writer.add_gamma w 0;
+           (* slot 1: idle *)
+           Frame.write_frame io (Wire.Writer.contents w);
+           ignore (Frame.read_frame io);
+           Unix.close fd;
+           Unix._exit 0
+         with _ -> Unix._exit 0)
+    | pid -> pid
+  in
+  let res = run_with_failing_host ~bad in
+  check_outcomes res ~crash_round:0
+
+let test_fault_free_decides () =
+  let listen, port = listen_ephemeral () in
+  let ids = [| 11; 22; 33; 44 |] in
+  let config = { SN.ids; seed = 5; n_hosts = 2; extra = "" } in
+  let p0 = fork_host port ~host_index:0 ~program:good_program in
+  let p1 = fork_host port ~host_index:1 ~program:good_program in
+  let res = SN.serve ~listen ~config ~max_rounds:50 () in
+  Unix.close listen;
+  reap [ p0; p1 ];
+  Alcotest.(check int) "rounds" 3 res.SN.rounds;
+  List.iter
+    (fun (id, outcome) ->
+      match outcome with
+      | Engine.Decided v ->
+          Alcotest.(check int) (Printf.sprintf "node %d" id) (100 + id) v
+      | _ -> Alcotest.fail (Printf.sprintf "node %d did not decide" id))
+    res.SN.run.Engine.outcomes;
+  (* 3 rounds of 4 broadcasts, each billed on all 4 links. *)
+  let a = Repro_renaming.Runner.assess res.SN.run in
+  Alcotest.(check int) "messages" (3 * 4 * 4) a.Repro_renaming.Runner.messages
+
+let () =
+  Alcotest.run "repro-renaming-net-proc"
+    [
+      ( "socket_proc",
+        [
+          Alcotest.test_case "host EOF at round 0 -> Crashed" `Quick
+            test_disconnect_at_start;
+          Alcotest.test_case "host dies mid-run -> Crashed" `Quick
+            test_disconnect_mid_run;
+          Alcotest.test_case "protocol violation -> Crashed" `Quick
+            test_protocol_violation;
+          Alcotest.test_case "fault-free decides with exact billing" `Quick
+            test_fault_free_decides;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Robustness of the socket transport's framing: partial reads / short
+   writes, oversized and truncated frames, and framed codec round-trips
+   for every protocol's message type. The multi-process half (forked
+   hosts, mid-round failures) lives in test/net_proc — OCaml 5 forbids
+   [Unix.fork] once a domain has been spawned, and this suite runs after
+   the shard/parallel tests. *)
+
+module Frame = Repro_net.Frame
+module SN = Repro_net.Socket_net
+module Wire = Repro_sim.Wire
+module CR = Repro_renaming.Crash_renaming
+module FL = Repro_renaming.Flooding_renaming
+module BZ = Repro_renaming.Byzantine_renaming
+module Phase_king = Repro_consensus.Phase_king
+module Validator = Repro_consensus.Validator
+module Fingerprint = Repro_crypto.Fingerprint
+
+(* {2 In-memory io shims}
+
+   The exact partial-read / short-write behaviour a kernel socket can
+   exhibit, made deterministic: reads and writes move at most [chunk]
+   bytes per call. *)
+
+let mem_writer ~chunk =
+  let buf = Buffer.create 64 in
+  ( buf,
+    {
+      Frame.read = (fun _ _ _ -> failwith "write-only io");
+      write =
+        (fun b pos len ->
+          let k = min chunk len in
+          Buffer.add_subbytes buf b pos k;
+          k);
+    } )
+
+let mem_reader ~chunk data =
+  let pos = ref 0 in
+  {
+    Frame.read =
+      (fun b dst len ->
+        let k = min chunk (min len (String.length data - !pos)) in
+        Bytes.blit_string data !pos b dst k;
+        pos := !pos + k;
+        k);
+    write = (fun _ _ _ -> failwith "read-only io");
+  }
+
+let test_partial_io () =
+  let payloads = [ ""; "x"; "hello, frames"; String.make 1000 '\x7f' ] in
+  List.iter
+    (fun chunk ->
+      let buf, wio = mem_writer ~chunk in
+      List.iter (fun p -> Frame.write_frame wio p) payloads;
+      let rio = mem_reader ~chunk (Buffer.contents buf) in
+      List.iter
+        (fun p ->
+          Alcotest.(check string)
+            (Printf.sprintf "chunk %d roundtrip" chunk)
+            p (Frame.read_frame rio))
+        payloads;
+      Alcotest.(check bool)
+        "clean EOF at boundary" true
+        (Frame.read_frame_opt rio = None))
+    [ 1; 2; 3; 7; 4096 ]
+
+let test_write_no_progress () =
+  let stuck =
+    {
+      Frame.read = (fun _ _ _ -> 0);
+      write = (fun _ _ _ -> 0);
+    }
+  in
+  Alcotest.check_raises "stuck writer"
+    (Frame.Protocol_error "write returned no progress") (fun () ->
+      Frame.write_frame stuck "abc")
+
+let test_oversized_prefix () =
+  (* 4-byte header claiming a payload far above [max_frame]. *)
+  let hdr = "\xff\xff\xff\xff" in
+  let rio = mem_reader ~chunk:4096 hdr in
+  (match Frame.read_frame rio with
+  | _ -> Alcotest.fail "oversized prefix accepted"
+  | exception Frame.Protocol_error _ -> ());
+  (* A frame of exactly [max_frame] must still be readable in principle:
+     the header alone parses (payload truncation is a separate error). *)
+  let ok_hdr = "\x01\x00\x00\x00" (* 2^24 = max_frame *) in
+  match Frame.read_frame (mem_reader ~chunk:4096 ok_hdr) with
+  | _ -> Alcotest.fail "truncated payload accepted"
+  | exception Frame.Protocol_error msg ->
+      Alcotest.(check string) "payload eof" "eof inside frame" msg
+
+let test_truncation () =
+  (* EOF after a partial header. *)
+  List.iter
+    (fun partial ->
+      match Frame.read_frame_opt (mem_reader ~chunk:1 partial) with
+      | _ -> Alcotest.fail "truncated header accepted"
+      | exception Frame.Protocol_error _ -> ())
+    [ "\x00"; "\x00\x00"; "\x00\x00\x00" ];
+  (* EOF inside the payload, at every cut point. *)
+  let buf, wio = mem_writer ~chunk:4096 in
+  Frame.write_frame wio "abcdef";
+  let whole = Buffer.contents buf in
+  for cut = 4 to String.length whole - 1 do
+    match Frame.read_frame (mem_reader ~chunk:1 (String.sub whole 0 cut)) with
+    | _ -> Alcotest.fail "truncated payload accepted"
+    | exception Frame.Protocol_error _ -> ()
+  done
+
+(* {2 Framed codec round-trips}
+
+   writer -> socketpair -> reader, for every message constructor of
+   every protocol: the embedded [Codec.add_msg]/[read_msg] must carry
+   the exact [encode] bytes and bit length, and the decoded message must
+   re-encode identically (value equality via the codec, which avoids
+   comparing abstract payload types structurally). *)
+
+let roundtrip_framed (type a) (module M : Repro_net.Network_intf.WIRE_MSG
+                       with type t = a) name (samples : a list) =
+  let a_fd, b_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let wio = Frame.io_of_fd a_fd and rio = Frame.io_of_fd b_fd in
+  let w = Wire.Writer.create () in
+  List.iter (fun m -> SN.Codec.add_msg w (M.encode m)) samples;
+  Frame.write_frame wio (Wire.Writer.contents w);
+  let r = Wire.Reader.of_string (Frame.read_frame rio) in
+  List.iteri
+    (fun i m ->
+      let bytes, bits = SN.Codec.read_msg r in
+      let e_bytes, e_bits = M.encode m in
+      Alcotest.(check int)
+        (Printf.sprintf "%s[%d] bits" name i)
+        e_bits bits;
+      Alcotest.(check string)
+        (Printf.sprintf "%s[%d] bytes" name i)
+        e_bytes bytes;
+      Alcotest.(check int)
+        (Printf.sprintf "%s[%d] bits = Msg.bits" name i)
+        (M.bits m) bits;
+      match M.decode bytes with
+      | None -> Alcotest.fail (Printf.sprintf "%s[%d] undecodable" name i)
+      | Some m' ->
+          let r_bytes, r_bits = M.encode m' in
+          Alcotest.(check string)
+            (Printf.sprintf "%s[%d] re-encode bytes" name i)
+            e_bytes r_bytes;
+          Alcotest.(check int)
+            (Printf.sprintf "%s[%d] re-encode bits" name i)
+            e_bits r_bits)
+    samples;
+  Unix.close a_fd;
+  Unix.close b_fd
+
+let test_codec_roundtrips () =
+  let iv = Repro_util.Interval.make 3 10 in
+  roundtrip_framed
+    (module CR.Msg)
+    "crash"
+    [
+      CR.Msg.Notify;
+      CR.Msg.Status { id = 71; iv; d = 2; p = 1 };
+      CR.Msg.Response { id = 4095; iv; d = 11; p = 0 };
+    ];
+  (* halving shares [CR.Msg]; flooding's set message exercises the
+     delta-gamma list codec *)
+  roundtrip_framed
+    (module FL.Msg)
+    "flooding"
+    [ FL.Msg.Known []; FL.Msg.Known [ 1 ]; FL.Msg.Known [ 2; 71; 4096 ] ];
+  let fp =
+    Fingerprint.of_segment
+      (Fingerprint.key_of_seed 42)
+      (Repro_util.Bitvec.create 64)
+      (Repro_util.Interval.make 1 64)
+  in
+  roundtrip_framed
+    (module BZ.Msg)
+    "byz"
+    [
+      BZ.Msg.Elect;
+      BZ.Msg.Announce;
+      BZ.Msg.Pk (Phase_king.Vote true);
+      BZ.Msg.Pk (Phase_king.Propose false);
+      BZ.Msg.Pk (Phase_king.King true);
+      BZ.Msg.Vld (Validator.Input (fp, 17));
+      BZ.Msg.Vld (Validator.Lock None);
+      BZ.Msg.Vld (Validator.Lock (Some (fp, 3)));
+      BZ.Msg.VldRaw (Validator.Input ("\x01\x02", 2));
+      BZ.Msg.VldRaw (Validator.Lock (Some ("\xff", 8)));
+      BZ.Msg.Diff true;
+      BZ.Msg.New None;
+      BZ.Msg.New (Some 12);
+    ]
+
+let suite =
+  ( "socket_net",
+    [
+      Alcotest.test_case "frame partial reads / short writes" `Quick
+        test_partial_io;
+      Alcotest.test_case "frame write without progress" `Quick
+        test_write_no_progress;
+      Alcotest.test_case "oversized length prefix rejected" `Quick
+        test_oversized_prefix;
+      Alcotest.test_case "truncated header / payload rejected" `Quick
+        test_truncation;
+      Alcotest.test_case "framed codec round-trips, all protocols" `Quick
+        test_codec_roundtrips;
+    ] )

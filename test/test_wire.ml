@@ -98,6 +98,120 @@ let test_fixed_width62_boundary () =
         (W.roundtrip_fixed v ~width:62))
     [ 0; 1; max_int - 1; max_int ]
 
+(* The bit-by-bit definition of a fixed-width read, as [read_fixed]
+   consumed every width before its byte-aligned fast path existed. *)
+let read_fixed_ref r ~width =
+  let v = ref 0 in
+  for _ = 1 to width do
+    v := (!v lsl 1) lor if W.Reader.read_bit r then 1 else 0
+  done;
+  !v
+
+let qcheck_read_fixed_differential =
+  (* Differential test for the reader's byte-aligned fast path: a random
+     bit prefix puts the read at every possible bit offset, then the same
+     field is consumed by [read_fixed] and by the bit-by-bit reference;
+     both the value and the final reader position must match. *)
+  let case =
+    QCheck.Gen.(
+      let* prefix = list_size (int_range 0 17) bool in
+      let* width = int_range 0 61 in
+      let* v = int_range 0 ((1 lsl width) - 1) in
+      return (prefix, v, width))
+  in
+  QCheck.Test.make ~name:"read_fixed fast path = bit-by-bit reference"
+    ~count:2000
+    (QCheck.make
+       ~print:(fun (prefix, v, width) ->
+         Printf.sprintf "prefix=%d bits, v=%d, width=%d" (List.length prefix)
+           v width)
+       case)
+    (fun (prefix, v, width) ->
+      let w = W.Writer.create () in
+      List.iter (W.Writer.add_bit w) prefix;
+      W.Writer.add_fixed w v ~width;
+      (* A trailing bit so the fast path's straddle reads stay exercised
+         even when the field ends flush with the buffer. *)
+      W.Writer.add_bit w true;
+      let s = W.Writer.contents w in
+      let fast = W.Reader.of_string s and slow = W.Reader.of_string s in
+      List.iter (fun _ -> ignore (W.Reader.read_bit fast)) prefix;
+      List.iter (fun _ -> ignore (W.Reader.read_bit slow)) prefix;
+      let vf = W.Reader.read_fixed fast ~width in
+      let vs = read_fixed_ref slow ~width in
+      vf = v && vs = v
+      && W.Reader.bits_remaining fast = W.Reader.bits_remaining slow
+      && W.Reader.read_bit fast)
+
+let test_read_fixed_truncated () =
+  (* The fast path bounds-checks the whole field up front: a field that
+     extends past the input must raise, never return garbage. *)
+  List.iter
+    (fun (data, width) ->
+      let r = W.Reader.of_string data in
+      Alcotest.check_raises
+        (Printf.sprintf "width %d over %d bytes" width (String.length data))
+        (Invalid_argument "Wire.Reader: out of bits")
+        (fun () -> ignore (W.Reader.read_fixed r ~width)))
+    [ ("", 8); ("\xff", 9); ("\xff\xff\xff", 62) ]
+
+let test_gamma_k62_rejected () =
+  (* Regression: the writer can never emit a 62-zero unary prefix
+     ([add_gamma] caps k at floor_log2 max_int = 61), and accepting one
+     would compute [(1 lsl 62) lor rest], which wraps negative on 63-bit
+     ints. Hand-built streams with k = 62 must raise, never return. *)
+  let k62 =
+    (* 62 zero bits, the terminating 1, then 62 set bits of "payload" —
+       enough input that the pre-fix reader reached the negative wrap
+       instead of running out of bits. *)
+    let b = Bytes.make 16 '\xff' in
+    Bytes.fill b 0 7 '\x00';
+    Bytes.set b 7 '\x02';
+    Bytes.to_string b
+  in
+  List.iter
+    (fun (name, data) ->
+      let r = W.Reader.of_string data in
+      Alcotest.check_raises name (Invalid_argument "Wire.Reader: gamma")
+        (fun () -> ignore (W.Reader.read_gamma r)))
+    [ ("k=62 with full payload", k62); ("all zeros", String.make 32 '\x00') ]
+
+let test_gamma_k61_boundary () =
+  (* The largest value the writer can emit (k = 61) must still read. *)
+  let v = max_int - 1 in
+  let w = W.Writer.create () in
+  W.Writer.add_gamma w v;
+  let r = W.Reader.of_string (W.Writer.contents w) in
+  Alcotest.(check int) "max gamma" v (W.Reader.read_gamma r)
+
+let test_gamma_truncated () =
+  (* Truncation inside the unary prefix and inside the payload both
+     raise cleanly (out of bits), never return a negative. *)
+  let v = 1_000_000 in
+  let w = W.Writer.create () in
+  W.Writer.add_gamma w v;
+  let full = W.Writer.contents w in
+  for len = 0 to String.length full - 1 do
+    let r = W.Reader.of_string (String.sub full 0 len) in
+    match W.Reader.read_gamma r with
+    | got ->
+        Alcotest.failf "truncated to %d bytes: returned %d instead of raising"
+          len got
+    | exception Invalid_argument _ -> ()
+  done
+
+let qcheck_gamma_never_negative =
+  (* Adversarial bytes: [read_gamma] either raises [Invalid_argument] or
+     returns a non-negative value — no silent overflow. *)
+  QCheck.Test.make ~name:"read_gamma on random bytes: raise or >= 0"
+    ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 24))
+    (fun s ->
+      let r = W.Reader.of_string s in
+      match W.Reader.read_gamma r with
+      | v -> v >= 0
+      | exception Invalid_argument _ -> true)
+
 let test_many_gammas () =
   (* Regression for [Writer.ensure]'s growth policy: 10k gammas append
      ~600k bits through the zero-run + byte-aligned paths; the buffer
@@ -163,9 +277,16 @@ let suite =
       Alcotest.test_case "reader exhaustion" `Quick test_out_of_bits;
       Alcotest.test_case "fixed width-62 boundary" `Quick
         test_fixed_width62_boundary;
+      Alcotest.test_case "read_fixed truncated input" `Quick
+        test_read_fixed_truncated;
+      Alcotest.test_case "gamma k=62 rejected" `Quick test_gamma_k62_rejected;
+      Alcotest.test_case "gamma k=61 boundary" `Quick test_gamma_k61_boundary;
+      Alcotest.test_case "gamma truncated input" `Quick test_gamma_truncated;
       Alcotest.test_case "10k gammas (growth regression)" `Quick
         test_many_gammas;
       QCheck_alcotest.to_alcotest qcheck_gamma_roundtrip;
       QCheck_alcotest.to_alcotest qcheck_fixed_differential;
+      QCheck_alcotest.to_alcotest qcheck_read_fixed_differential;
+      QCheck_alcotest.to_alcotest qcheck_gamma_never_negative;
       QCheck_alcotest.to_alcotest qcheck_mixed_stream;
     ] )
