@@ -8,6 +8,10 @@
    the invariant oracles and exits 1 on the first violation (after
    optional shrinking). Replay mode re-executes a schedule file and
    prints the byte-deterministic trace. *)
+(* Stdout reporting is this executable's purpose; relax the library
+   print rule for the whole file rather than annotating every line. *)
+[@@@lint.allow "D5"]
+
 
 module Schedule = Repro_check.Schedule
 module Oracle = Repro_check.Oracle

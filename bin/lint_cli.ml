@@ -1,19 +1,28 @@
 (* Driver for repro_lint (lib/lint): the determinism & domain-safety
-   static-analysis pass.
+   static-analysis pass (per-file rules D1-D5 plus the project-wide
+   S/N/W families over the cross-module summary graph).
 
      lint [PATHS..]                 # default: lib
-     lint --format json lib
+     lint --format json lib bin bench
+     lint --format sarif lib > lint.sarif
      lint --disable D4,D5 lib/core
      lint --enable D1 --enable D2 lib
+     lint --baseline lint-report.json lib
      lint --list-rules
 
-   Exit 0 when every enabled rule is clean (allow-suppressed findings
-   do not fail the build), 1 on any unsuppressed finding (including E0
-   parse failures), 2 on usage errors / unreadable paths.
-   [dune build @lint] runs this over the whole lib tree. *)
+   Exit 0 when every enabled rule is clean (allow- and
+   baseline-suppressed findings do not fail the build), 1 on any
+   unsuppressed finding (including E0 parse failures), 2 on usage
+   errors / unreadable paths. [dune build @lint] runs this over
+   lib, bin and bench. *)
+(* Stdout reporting is this executable's purpose; relax the library
+   print rule for the whole file rather than annotating every line. *)
+[@@@lint.allow "D5"]
+
 
 module Lint = Repro_lint.Lint
 module Finding = Repro_lint.Finding
+module Sarif = Repro_lint.Sarif
 open Cmdliner
 
 let list_rules () =
@@ -22,7 +31,7 @@ let list_rules () =
       Printf.printf "%-3s %s\n    why: %s\n" id rejects rationale)
     Finding.rules
 
-let run paths format enables disables list =
+let run paths format enables disables baseline_file list =
   if list then begin
     list_rules ();
     0
@@ -44,6 +53,16 @@ let run paths format enables disables list =
       Printf.eprintf "lint: no such path: %s\n" (String.concat ", " missing);
       exit 2
     end;
+    let baseline =
+      match baseline_file with
+      | None -> []
+      | Some path ->
+          if not (Sys.file_exists path) then begin
+            Printf.eprintf "lint: no such baseline: %s\n" path;
+            exit 2
+          end;
+          Lint.baseline_of_file path
+    in
     let enabled rule =
       (* E0 (parse failure) cannot be opted out of: an unparseable file
          cannot be certified. *)
@@ -53,11 +72,12 @@ let run paths format enables disables list =
          | _ :: _ -> List.exists (String.equal rule) enables)
          && not (List.exists (String.equal rule) disables)
     in
-    let report = Lint.lint_files ~enabled paths in
+    let report = Lint.lint_project_files ~enabled ~baseline paths in
     (match format with
-    | `Text -> print_string (Lint.to_text report)
-    | `Json -> print_string (Lint.to_json report));
-    match report.Lint.findings with [] -> 0 | _ :: _ -> 1
+    | `Text -> print_string (Lint.project_to_text report)
+    | `Json -> print_string (Lint.to_json_v2 report)
+    | `Sarif -> print_string (Sarif.render report.Lint.p_findings));
+    match report.Lint.p_findings with [] -> 0 | _ :: _ -> 1
   end
 
 let paths_arg =
@@ -69,8 +89,11 @@ let paths_arg =
 let format_arg =
   Arg.(
     value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-    & info [ "format" ] ~docv:"FMT" ~doc:"Report format: text or json.")
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Report format: text, json (lint-report/v2), or sarif \
+           (SARIF 2.1.0).")
 
 let enable_arg =
   Arg.(
@@ -85,6 +108,16 @@ let disable_arg =
     & info [ "disable" ] ~docv:"IDS"
         ~doc:"Skip these rules (comma-separated, repeatable).")
 
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"REPORT"
+        ~doc:
+          "Suppress findings present in this committed JSON report \
+           (v1 or v2, matched on rule/file/message); exit 1 only on \
+           findings not in the baseline.")
+
 let list_arg =
   Arg.(
     value & flag
@@ -92,13 +125,15 @@ let list_arg =
 
 let () =
   let info =
-    Cmd.info "lint" ~version:"1.0.0"
+    Cmd.info "lint" ~version:"2.0.0"
       ~doc:
-        "Static determinism & domain-safety checks (D1-D5) over OCaml \
-         sources; exit 1 on any unsuppressed finding."
+        "Static determinism & domain-safety checks (per-file D1-D5, \
+         project-wide S/N/W) over OCaml sources; exit 1 on any \
+         unsuppressed finding."
   in
   let term =
     Term.(
-      const run $ paths_arg $ format_arg $ enable_arg $ disable_arg $ list_arg)
+      const run $ paths_arg $ format_arg $ enable_arg $ disable_arg
+      $ baseline_arg $ list_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

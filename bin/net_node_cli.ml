@@ -9,6 +9,10 @@
    [local] is the single-machine form: it binds an ephemeral port, forks
    the host processes itself and runs the coordinator in the parent —
    the E12 experiment and the CI smoke stage use it. *)
+(* Stdout reporting is this executable's purpose; relax the library
+   print rule for the whole file rather than annotating every line. *)
+[@@@lint.allow "D5"]
+
 
 module CR = Repro_renaming.Crash_renaming
 module BZ = Repro_renaming.Byzantine_renaming

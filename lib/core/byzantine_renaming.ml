@@ -57,6 +57,11 @@ module Msg = struct
 
   let read_raw r =
     let len = W.Reader.read_gamma r in
+    (* The length arrives off the wire: on the socket backend a hostile
+       peer controls it, so bound it by what the message can actually
+       hold before allocating. *)
+    if len < 0 || 8 * len > W.Reader.bits_remaining r then
+      invalid_arg "Byzantine_renaming.read_raw: length exceeds message";
     String.init len (fun _ -> Char.chr (W.Reader.read_fixed r ~width:8))
 
   let encode m =

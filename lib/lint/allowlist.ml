@@ -6,7 +6,7 @@
    line directly below it (so the idiomatic form — a comment on its own
    line above the flagged code — works). The parser drops comments, so
    this scan runs over the raw source text; it is deliberately lexical
-   and cheap. Rule ids are the tokens matching [DE][0-9]+ that appear
+   and cheap. Rule ids are the tokens matching [DESNW][0-9]+ that appear
    after "allow"; everything after an em-dash/double-hyphen is read as
    the (required by convention, unenforced) reason. *)
 
@@ -16,7 +16,7 @@ let is_digit c = c >= '0' && c <= '9'
 
 let is_rule_token s =
   String.length s >= 2
-  && (s.[0] = 'D' || s.[0] = 'E')
+  && (match s.[0] with 'D' | 'E' | 'S' | 'N' | 'W' -> true | _ -> false)
   && (let ok = ref true in
       String.iteri (fun i c -> if i > 0 && not (is_digit c) then ok := false) s;
       !ok)

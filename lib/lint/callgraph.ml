@@ -1,0 +1,301 @@
+(* Pass 2 of the project-wide lint: link per-module summaries into a
+   conservative cross-module call graph and propagate flow facts.
+
+   Resolution model. Every function has a key ["Module.fn_name"]. A
+   dotted path recorded by pass 1 resolves as follows: expand leading
+   components through the defining module's [module X = Path] aliases
+   (bounded depth, so alias cycles terminate), then scan the components
+   for one that names a known file-module; if found, the remaining
+   components joined with '.' are looked up as a function of that
+   module. A single-component path resolves only within its own module.
+   This over-approximates (any referenced identifier is an edge, and a
+   local [let] shadowing a module-level name links to the module-level
+   one) and under-approximates (functions local to another function are
+   invisible, as are closures passed through data structures) — both
+   directions are documented in DESIGN.md S25 and accepted: the repo's
+   style keeps shard bodies and parallel closures either literal or
+   top-level, which is exactly the fragment the graph covers.
+
+   Propagated facts, each a least fixpoint over the call graph:
+   - [writes_global]: the function syntactically writes, or calls a
+     function that transitively writes, a resolved top-level mutable
+     binding (S1);
+   - [mutates]: transitively performs a growable-structure mutation on a
+     non-local receiver (S2);
+   - [does_io]: transitively hits a raw [Unix] byte-io syscall (N-family
+     context, reported per module in the v2 report). *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type fn_facts = {
+  ff_fn : Summary.fn;
+  ff_module : string;  (** file-module name of the defining unit *)
+  ff_file : string;
+  ff_callees : string list;  (** resolved fn keys, sorted *)
+  ff_direct_globals : (string * Summary.pos) list;
+      (** resolved global writes performed in this body: (global key,
+          write position) *)
+  ff_writes_globals : string list;  (** transitive closure, sorted keys *)
+  ff_mutations : Summary.mutation list;  (** direct, receiver non-local *)
+  ff_reaches_mutation : string list;
+      (** fn keys (possibly self) whose direct mutations are reachable *)
+  ff_does_io : bool;  (** direct raw syscall in this body *)
+  ff_reaches_io : bool;  (** transitive *)
+}
+
+type t = {
+  cg_summaries : Summary.t list;  (** sorted by file *)
+  cg_fns : fn_facts SMap.t;  (** key = "Module.fn_name" *)
+  cg_globals : (string * Summary.global) list;
+      (** key = "Module.g_name", sorted by key *)
+}
+
+let fn_key ~module_name name = module_name ^ "." ^ name
+
+(* Expand a leading alias component, bounded so alias cycles (which the
+   compiler rejects anyway) cannot loop us. *)
+let expand_aliases aliases path =
+  let rec go depth path =
+    if depth >= 8 then path
+    else
+      match path with
+      | head :: rest -> (
+          match List.assoc_opt head aliases with
+          | Some target -> go (depth + 1) (target @ rest)
+          | None -> path)
+      | [] -> path
+  in
+  go 0 path
+
+(* Resolve a referenced path to a function key, if any component names a
+   known file-module. [self] handles bare single-component references
+   within the defining module. *)
+let resolve_fn ~known_modules ~aliases ~self path =
+  let path = expand_aliases aliases path in
+  let rec scan = function
+    | [] -> None
+    | m :: rest when SSet.mem m known_modules && rest <> [] ->
+        Some (fn_key ~module_name:m (String.concat "." rest))
+    | _ :: rest -> scan rest
+  in
+  match scan path with
+  | Some key -> Some key
+  | None -> (
+      match path with
+      | [ name ] -> Some (fn_key ~module_name:self name)
+      | _ ->
+          (* Dotted path into no known module: could still be a
+             submodule-qualified name of the defining unit
+             ("Writer.add_fixed" referenced from wire.ml itself). *)
+          Some (fn_key ~module_name:self (String.concat "." path)))
+
+(* Resolve a write target to a global key. Accepts both qualified
+   ("S1_glob.table") and unqualified ("table", defined in the same
+   unit) references. *)
+let resolve_global ~known_globals ~known_modules ~aliases ~self path =
+  let path = expand_aliases aliases path in
+  let candidates =
+    match path with
+    | [ name ] -> [ fn_key ~module_name:self name ]
+    | _ ->
+        let rec scan acc = function
+          | [] -> acc
+          | m :: rest when SSet.mem m known_modules && rest <> [] ->
+              scan
+                (fn_key ~module_name:m (String.concat "." rest) :: acc)
+                rest
+          | _ :: rest -> scan acc rest
+        in
+        scan [ fn_key ~module_name:self (String.concat "." path) ] path
+  in
+  List.find_opt (fun k -> SMap.mem k known_globals) candidates
+
+let build (summaries : Summary.t list) =
+  let summaries =
+    List.sort
+      (fun (a : Summary.t) b -> String.compare a.sm_file b.sm_file)
+      summaries
+  in
+  let known_modules =
+    List.fold_left
+      (fun acc (s : Summary.t) -> SSet.add s.sm_module acc)
+      SSet.empty summaries
+  in
+  let globals_map =
+    List.fold_left
+      (fun acc (s : Summary.t) ->
+        List.fold_left
+          (fun acc (g : Summary.global) ->
+            SMap.add (fn_key ~module_name:s.sm_module g.g_name) g acc)
+          acc s.sm_globals)
+      SMap.empty summaries
+  in
+  (* Seed facts per function. *)
+  let fns =
+    List.fold_left
+      (fun acc (s : Summary.t) ->
+        List.fold_left
+          (fun acc (f : Summary.fn) ->
+            let self = s.sm_module in
+            let callees =
+              List.filter_map
+                (fun path ->
+                  resolve_fn ~known_modules ~aliases:s.sm_aliases ~self
+                    path)
+                f.fn_calls
+              |> List.sort_uniq String.compare
+            in
+            let direct_globals =
+              List.filter_map
+                (fun (w : Summary.write) ->
+                  match
+                    resolve_global ~known_globals:globals_map
+                      ~known_modules ~aliases:s.sm_aliases ~self
+                      w.w_target
+                  with
+                  | Some key -> Some (key, w.w_pos)
+                  | None -> None)
+                f.fn_writes
+            in
+            let key = fn_key ~module_name:self f.fn_name in
+            SMap.add key
+              {
+                ff_fn = f;
+                ff_module = self;
+                ff_file = s.sm_file;
+                ff_callees = callees;
+                ff_direct_globals = direct_globals;
+                ff_writes_globals =
+                  List.sort_uniq String.compare
+                    (List.map fst direct_globals);
+                ff_mutations = f.fn_mutations;
+                ff_reaches_mutation =
+                  (if f.fn_mutations = [] then [] else [ key ]);
+                ff_does_io = f.fn_io <> [];
+                ff_reaches_io = f.fn_io <> [];
+              }
+              acc)
+          acc s.sm_fns)
+      SMap.empty summaries
+  in
+  (* Least fixpoint: union callee facts into callers until stable. The
+     graph is small (hundreds of functions), so the naive iteration is
+     fine and keeps the code obviously deterministic. *)
+  let fns = ref fns in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    !fns
+    |> SMap.iter (fun key ff ->
+           let merged =
+             List.fold_left
+               (fun (ff : fn_facts) callee ->
+                 if String.equal callee key then ff
+                 else
+                   match SMap.find_opt callee !fns with
+                   | None -> ff
+                   | Some cf ->
+                       let writes =
+                         List.sort_uniq String.compare
+                           (ff.ff_writes_globals @ cf.ff_writes_globals)
+                       in
+                       let muts =
+                         List.sort_uniq String.compare
+                           (ff.ff_reaches_mutation
+                           @ cf.ff_reaches_mutation)
+                       in
+                       {
+                         ff with
+                         ff_writes_globals = writes;
+                         ff_reaches_mutation = muts;
+                         ff_reaches_io =
+                           ff.ff_reaches_io || cf.ff_reaches_io;
+                       })
+               ff ff.ff_callees
+           in
+           if
+             List.length merged.ff_writes_globals
+             <> List.length ff.ff_writes_globals
+             || List.length merged.ff_reaches_mutation
+                <> List.length ff.ff_reaches_mutation
+             || merged.ff_reaches_io <> ff.ff_reaches_io
+           then begin
+             fns := SMap.add key merged !fns;
+             changed := true
+           end)
+  done;
+  {
+    cg_summaries = summaries;
+    cg_fns = !fns;
+    cg_globals = SMap.bindings globals_map;
+  }
+
+let find_fn t key = SMap.find_opt key t.cg_fns
+
+(* Facts for a closure at a parallel site: a literal lambda gets its own
+   summary resolved against its defining module's context; an identifier
+   reference resolves through the graph. Returns (what-it-writes,
+   reaches-mutation-keys, description) or [None] when the reference
+   cannot be resolved — the under-approximation documented above. *)
+let closure_facts t ~(summary : Summary.t) (cl : Summary.closure) =
+  let known_modules =
+    List.fold_left
+      (fun acc (s : Summary.t) -> SSet.add s.sm_module acc)
+      SSet.empty t.cg_summaries
+  in
+  match cl with
+  | Summary.Cl_ref path -> (
+      match
+        resolve_fn ~known_modules ~aliases:summary.sm_aliases
+          ~self:summary.sm_module path
+      with
+      | None -> None
+      | Some key -> (
+          match find_fn t key with
+          | None -> None
+          | Some ff ->
+              Some
+                ( ff.ff_writes_globals,
+                  ff.ff_reaches_mutation,
+                  "`" ^ String.concat "." path ^ "`" )))
+  | Summary.Cl_fun f ->
+      let self = summary.sm_module in
+      let globals_map =
+        List.fold_left (fun acc (k, g) -> SMap.add k g acc) SMap.empty
+          t.cg_globals
+      in
+      let direct =
+        List.filter_map
+          (fun (w : Summary.write) ->
+            resolve_global ~known_globals:globals_map ~known_modules
+              ~aliases:summary.sm_aliases ~self w.w_target)
+          f.fn_writes
+      in
+      let callees =
+        List.filter_map
+          (fun path ->
+            resolve_fn ~known_modules ~aliases:summary.sm_aliases ~self
+              path)
+          f.fn_calls
+        |> List.sort_uniq String.compare
+      in
+      let writes, muts =
+        List.fold_left
+          (fun (ws, ms) callee ->
+            match find_fn t callee with
+            | None -> (ws, ms)
+            | Some cf ->
+                (cf.ff_writes_globals @ ws, cf.ff_reaches_mutation @ ms))
+          (direct, if f.fn_mutations = [] then [] else [ "<closure>" ])
+          callees
+      in
+      Some
+        ( List.sort_uniq String.compare writes,
+          List.sort_uniq String.compare muts,
+          "closure" )
+
+let global_pos t key =
+  match List.assoc_opt key t.cg_globals with
+  | Some (g : Summary.global) -> Some (g.g_ctor, g.g_pos)
+  | None -> None

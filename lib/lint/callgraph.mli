@@ -1,0 +1,43 @@
+(** Pass 2 of the project-wide lint: conservative cross-module call
+    graph over {!Summary.t} values, with transitive write/mutation/io
+    facts. See DESIGN.md S25. *)
+
+module SMap : Map.S with type key = string
+
+type fn_facts = {
+  ff_fn : Summary.fn;
+  ff_module : string;
+  ff_file : string;
+  ff_callees : string list;
+  ff_direct_globals : (string * Summary.pos) list;
+  ff_writes_globals : string list;
+  ff_mutations : Summary.mutation list;
+  ff_reaches_mutation : string list;
+  ff_does_io : bool;
+  ff_reaches_io : bool;
+}
+
+type t = {
+  cg_summaries : Summary.t list;
+  cg_fns : fn_facts SMap.t;
+  cg_globals : (string * Summary.global) list;
+}
+
+val fn_key : module_name:string -> string -> string
+
+val build : Summary.t list -> t
+
+val find_fn : t -> string -> fn_facts option
+
+val closure_facts :
+  t ->
+  summary:Summary.t ->
+  Summary.closure ->
+  (string list * string list * string) option
+(** [closure_facts t ~summary cl] resolves a parallel-site closure to
+    (transitively written global keys, fn keys reaching a growable
+    mutation, human description), or [None] when the reference cannot
+    be resolved. *)
+
+val global_pos : t -> string -> (string * Summary.pos) option
+(** Constructor and definition position of a global by key. *)

@@ -34,3 +34,48 @@ val findings_by_rule : report -> (string * int) list
 val to_text : report -> string
 val to_json : report -> string
 (** Byte-stable (fixed field order) [lint-report/v1] JSON. *)
+
+(** {2 Project-wide pass (lint v2)}
+
+    Runs the v1 per-file rules plus the S/N/W families over the
+    {!Callgraph} built from every file's {!Summary.t}. See DESIGN.md
+    S25. *)
+
+type project_report = {
+  graph : Callgraph.t;
+  p_findings : Finding.t list;  (** sorted by {!Finding.compare} *)
+  p_files_scanned : int;
+  p_suppressed : int;
+  p_baseline_suppressed : int;
+}
+
+type baseline = (string * string * string) list
+(** (rule, file, message) triples of findings blessed by a committed
+    baseline report. *)
+
+val lint_project :
+  ?enabled:(string -> bool) ->
+  ?baseline:baseline ->
+  (string * string) list ->
+  project_report
+(** [lint_project pairs] lints the [(logical filename, source)] pairs
+    as one project: filenames drive the path-scoped rules and module
+    names (capitalized basenames) key the call graph. *)
+
+val lint_project_files :
+  ?enabled:(string -> bool) ->
+  ?baseline:baseline ->
+  string list ->
+  project_report
+
+val project_to_text : project_report -> string
+
+val to_json_v2 : project_report -> string
+(** Byte-stable [lint-report/v2] JSON: module summaries with propagated
+    facts, plus the findings in v1 object layout. *)
+
+val baseline_of_json : string -> baseline
+(** Extract the baseline triples from a v1 or v2 JSON report produced
+    by {!to_json} / {!to_json_v2} (fixed field order assumed). *)
+
+val baseline_of_file : string -> baseline

@@ -17,14 +17,18 @@
          Fingerprint idiom).
    - D4  top-level mutable state ([ref]/[Hashtbl.create]/[Array.make]/
          [Atomic.make]/...) in the domain-shared libraries lib/core,
-         lib/sim, lib/consensus, lib/crypto — racy under Parallel.map.
+         lib/sim, lib/consensus, lib/crypto, lib/net, lib/util — racy
+         under Parallel.map.
    - D5  [Obj.*]/[Marshal.*]/stdout printing in library code, and opaque
          dead-branch [assert false] (must name the broken invariant).
 
-   Escape hatches, both scoped to exactly what they annotate:
+   Escape hatches, each scoped to exactly what it annotates:
    [[@lint.allow "ID"]] / [[@@lint.allow "ID"]] attributes (suppress the
-   whole annotated subtree) and [(* lint: allow ID — reason *)] comments
-   (suppress the same and the following line; see {!Allowlist}). *)
+   whole annotated subtree), floating [[@@@lint.allow "ID"]] items
+   (suppress from that point to the end of the file — for CLI/bench
+   mains whose whole purpose is printing), and
+   [(* lint: allow ID — reason *)] comments (suppress the same and the
+   following line; see {!Allowlist}). *)
 
 open Parsetree
 
@@ -50,7 +54,8 @@ let path_has_dir path dir =
   in
   go 0
 
-let domain_shared_dirs = [ "lib/core"; "lib/sim"; "lib/consensus"; "lib/crypto" ]
+let domain_shared_dirs =
+  [ "lib/core"; "lib/sim"; "lib/consensus"; "lib/crypto"; "lib/net"; "lib/util" ]
 
 (* {2 Identifier tables} *)
 
@@ -114,6 +119,7 @@ let mutable_ctors =
     "Buffer.create";
     "Bytes.create";
     "Bytes.make";
+    "Bytes.init";
     "Array.make";
     "Array.create_float";
     "Array.init";
@@ -180,6 +186,11 @@ let run config ~source str =
   let suppressed = ref 0 in
   (* Attribute-allow frames currently in scope (innermost first). *)
   let allow_stack : string list list ref = ref [] in
+  (* File-rest-scope allows from floating [[@@@lint.allow "ID"]] items:
+     monotone — everything after the item is covered. CLI and bench
+     mains use this to bless their stdout reporting wholesale instead
+     of annotating every print. *)
+  let file_allows : string list ref = ref [] in
   (* Applications of D2 order ops already blessed by a surrounding sort;
      and fn-ident locations already checked at their application site. *)
   let sanctioned : (int * int) list ref = ref [] in
@@ -189,7 +200,8 @@ let run config ~source str =
     if config.enabled rule then begin
       let line, col = loc_pos loc in
       let allowed_by_attr =
-        List.exists (fun ids -> mem_str rule ids) !allow_stack
+        mem_str rule !file_allows
+        || List.exists (fun ids -> mem_str rule ids) !allow_stack
       in
       if allowed_by_attr || Allowlist.allows comment_allows ~line ~rule then
         incr suppressed
@@ -392,6 +404,11 @@ let run config ~source str =
       ;
       structure_item =
         (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute a when String.equal a.attr_name.txt "lint.allow" ->
+              file_allows :=
+                !file_allows @ allow_ids_of_payload a.attr_payload
+          | _ -> ());
           let item_allow_ids =
             match si.pstr_desc with
             | Pstr_value (_, vbs) ->

@@ -9,6 +9,17 @@ type config = {
   enabled : string -> bool;  (** per-rule-id enable predicate *)
 }
 
+val path_ends_with : string -> string -> bool
+(** [path_ends_with path suffix] — component-aligned suffix match on
+    '/'-normalized paths; used by every path-scoped rule. *)
+
+val path_has_dir : string -> string -> bool
+(** [path_has_dir path dir] — does [path] contain directory [dir]
+    (itself possibly "a/b") as a component run? *)
+
+val domain_shared_dirs : string list
+(** Directories whose module-level mutable state D4 rejects. *)
+
 val run :
   config -> source:string -> Parsetree.structure -> Finding.t list * int
 (** [run config ~source str] returns the findings (sorted by

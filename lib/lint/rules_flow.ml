@@ -1,0 +1,106 @@
+(* S-rules: domain-escape analysis over the {!Callgraph}.
+
+   S1 — a closure entering a parallel region ([Parallel.map],
+   [Pool.run]/[Domain_pool.run], [Domain.spawn]) transitively writes a
+   top-level mutable binding. This is the interprocedural upgrade of
+   D4: D4 rejects the *definition* of module-level mutable state in the
+   domain-shared directories, but only sees the defining file — a
+   global in module A written by a helper in module B captured by a
+   [Pool.run] in module C is invisible to it. S1 follows the call
+   graph, so the three-file version is flagged at the parallel site.
+
+   S2 — a growable-structure mutation ([Hashtbl]/[Buffer]/[Queue]/
+   [Wire.Writer]) on a receiver not created inside the mutating
+   function, reachable from a *shard body* (the [p_shard] sites: one
+   closure per domain with shared round state in scope). Growable
+   structures resize under mutation, so two shards touching one table
+   race on the resize even with disjoint key sets — the exact shape of
+   the PR 7 shared-broadcast-table shard regression. Disjoint-slot
+   [Array.set]/[Bytes.set] and [Atomic] updates are deliberately not
+   S2 material: they are the sanctioned shard patterns.
+
+   Findings anchor at the parallel site (where the closure crosses the
+   domain boundary), carrying the attribute allows in scope there. *)
+
+type emit =
+  rule:string ->
+  file:string ->
+  pos:Summary.pos ->
+  allows:string list ->
+  message:string ->
+  hint:string ->
+  unit
+
+let mutation_ops (cg : Callgraph.t) (cl : Summary.closure) key =
+  let muts =
+    if String.equal key "<closure>" then
+      match cl with
+      | Summary.Cl_fun f -> f.fn_mutations
+      | Summary.Cl_ref _ -> []
+    else
+      match Callgraph.find_fn cg key with
+      | Some ff -> ff.ff_mutations
+      | None -> []
+  in
+  List.sort_uniq String.compare
+    (List.map (fun (m : Summary.mutation) -> m.mu_op) muts)
+
+let check ~(emit : emit) (cg : Callgraph.t) =
+  List.iter
+    (fun (s : Summary.t) ->
+      List.iter
+        (fun (p : Summary.parallel_site) ->
+          List.iter
+            (fun cl ->
+              match Callgraph.closure_facts cg ~summary:s cl with
+              | None -> ()
+              | Some (writes, mut_keys, desc) ->
+                  List.iter
+                    (fun gkey ->
+                      let where =
+                        match Callgraph.global_pos cg gkey with
+                        | Some (ctor, gp) ->
+                            Printf.sprintf " (`%s` at line %d)" ctor
+                              gp.Summary.line
+                        | None -> ""
+                      in
+                      emit ~rule:"S1" ~file:s.sm_file ~pos:p.p_pos
+                        ~allows:p.p_allows
+                        ~message:
+                          (Printf.sprintf
+                             "%s passed to `%s` transitively writes \
+                              top-level mutable `%s`%s"
+                             desc p.p_kind gkey where)
+                        ~hint:
+                          "domain-shared writes race and break \
+                           bit-identical replay; thread the state \
+                           through per-run values, or annotate the \
+                           synchronization story")
+                    writes;
+                  if p.p_shard then
+                    List.iter
+                      (fun mkey ->
+                        let ops = mutation_ops cg cl mkey in
+                        if ops <> [] then
+                          let via =
+                            if String.equal mkey "<closure>" then
+                              "in the shard closure"
+                            else Printf.sprintf "via `%s`" mkey
+                          in
+                          emit ~rule:"S2" ~file:s.sm_file ~pos:p.p_pos
+                            ~allows:p.p_allows
+                            ~message:
+                              (Printf.sprintf
+                                 "shard body reaches growable-structure \
+                                  mutation %s (%s) on a receiver it did \
+                                  not create"
+                                 via (String.concat ", " ops))
+                            ~hint:
+                              "growable structures race on resize even \
+                               with disjoint keys; use per-slot arrays \
+                               or per-shard accumulators merged after \
+                               the join")
+                      mut_keys)
+            p.p_closures)
+        s.sm_parallel)
+    cg.cg_summaries

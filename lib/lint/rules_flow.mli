@@ -1,0 +1,13 @@
+(** S-rules (S1 domain-escape writes, S2 shard-reachable growable
+    mutation) over the project call graph. See DESIGN.md S25. *)
+
+type emit =
+  rule:string ->
+  file:string ->
+  pos:Summary.pos ->
+  allows:string list ->
+  message:string ->
+  hint:string ->
+  unit
+
+val check : emit:emit -> Callgraph.t -> unit

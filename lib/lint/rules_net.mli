@@ -1,0 +1,6 @@
+(** N-rules (N1 raw socket syscalls outside Frame, N2 unbounded
+    network-derived allocations). See DESIGN.md S25. *)
+
+type emit = Rules_flow.emit
+
+val check : emit:emit -> Callgraph.t -> unit

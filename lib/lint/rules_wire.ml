@@ -1,0 +1,51 @@
+(* W-rules: wire codec width bounds.
+
+   The codec packs bitfields into 63-bit OCaml ints; [Wire] itself
+   accepts widths up to 62 because [add_gamma]/[read_gamma] legitimately
+   move k+1 <= 62 bits for the top of the int range — but width 62 at a
+   *call site* shifts into the sign bit, the exact class of the PR 8
+   [read_gamma] k=62 negative-wrap bug. So outside lib/sim/wire.ml:
+
+   W1 — a literal [~width] argument to [add_fixed]/[read_fixed] outside
+   [0, 61]. Hard error.
+
+   W2 — a non-literal [~width] with no dominating guard: the width
+   expression's identifiers never appeared in an earlier conditional of
+   the same top-level binding. Hint-level (rendered as a SARIF "note"):
+   the value may well be fine, but nothing in the function proves it. *)
+
+type emit = Rules_flow.emit
+
+let check ~(emit : emit) (cg : Callgraph.t) =
+  List.iter
+    (fun (s : Summary.t) ->
+      if not (Rules.path_ends_with s.sm_file "lib/sim/wire.ml") then
+        List.iter
+          (fun (w : Summary.wire_site) ->
+            match w.ww_width with
+            | Summary.W_lit v when v < 0 || v > 61 ->
+                emit ~rule:"W1" ~file:s.sm_file ~pos:w.ww_pos
+                  ~allows:w.ww_allows
+                  ~message:
+                    (Printf.sprintf
+                       "literal width %d to `%s` outside [0, 61]" v
+                       w.ww_op)
+                  ~hint:
+                    "widths >= 62 shift into the int sign bit (the \
+                     read_gamma k=62 bug class); widths above 61 are \
+                     reserved to lib/sim/wire.ml internals"
+            | Summary.W_lit _ | Summary.W_guarded _ -> ()
+            | Summary.W_unguarded x ->
+                emit ~rule:"W2" ~file:s.sm_file ~pos:w.ww_pos
+                  ~allows:w.ww_allows
+                  ~message:
+                    (Printf.sprintf
+                       "computed width `%s` reaches `%s` with no \
+                        dominating guard"
+                       x w.ww_op)
+                  ~hint:
+                    "bound the width (e.g. `if w > 61 then \
+                     invalid_arg ...`) before the codec call, or derive \
+                     it from a trusted constant")
+          s.sm_wire)
+    cg.cg_summaries

@@ -1,0 +1,6 @@
+(** W-rules (W1 literal codec width outside [0, 61], W2 unguarded
+    computed width — hint). See DESIGN.md S25. *)
+
+type emit = Rules_flow.emit
+
+val check : emit:emit -> Callgraph.t -> unit

@@ -1,0 +1,6 @@
+(** Minimal byte-stable SARIF 2.1.0 renderer over lint findings. *)
+
+val render : Finding.t list -> string
+(** Findings must already be sorted ({!Finding.compare}); rendering
+    preserves their order. W2 renders at "note" level, every other rule
+    at "error". *)

@@ -528,7 +528,10 @@ module Host (M : Network_intf.WIRE_MSG) = struct
     let n = Wire.Reader.read_gamma r in
     let n_hosts = Wire.Reader.read_gamma r in
     let seed = Wire.Reader.read_gamma r in
-    if n = 0 || n_hosts < 1 || host_index >= n_hosts then
+    (* n is wire-derived: cap it (Frame.max_frame is far above any real
+       run) so a hostile coordinator cannot force an absurd allocation. *)
+    if n = 0 || n > Frame.max_frame || n_hosts < 1 || host_index >= n_hosts
+    then
       proto_error "config: n=%d n_hosts=%d host_index=%d" n n_hosts host_index;
     let ids = Array.make n 0 in
     for s = 0 to n - 1 do

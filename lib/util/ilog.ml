@@ -2,6 +2,7 @@
    The message-size accounting calls this for every field of every
    honest message, and the arguments — identities, interval bounds,
    depths — are small, so one byte load covers nearly every call. *)
+(* lint: allow D4 — filled once at module init, read-only ever after *)
 let tbl16 =
   Bytes.init 0x10000 (fun i ->
       let rec f acc v = if v >= 2 then f (acc + 1) (v lsr 1) else acc in

@@ -1,0 +1,26 @@
+(* Regenerates the lint-report/v2 golden. From the repo root:
+
+     dune exec test/gen_v2_golden/gen_v2_golden.exe \
+       > test/lint/report_v2_golden.json
+
+   Keep the pair list in sync with [test_report_v2_golden] in
+   test/test_lint.ml. *)
+
+module Lint = Repro_lint.Lint
+
+let read path = In_channel.with_open_bin path In_channel.input_all
+
+let () =
+  let fixture name = Filename.concat (Filename.concat "test" "lint") name in
+  let pairs =
+    List.map
+      (fun (logical, name) -> (logical, read (fixture name)))
+      [
+        ("lib/net/n1_pos.ml", "n1_pos.ml");
+        ("s1_glob.ml", "s1_glob.ml");
+        ("s1_pos.ml", "s1_pos.ml");
+        ("s2_pos.ml", "s2_pos.ml");
+        ("w1_pos.ml", "w1_pos.ml");
+      ]
+  in
+  print_string (Lint.to_json_v2 (Lint.lint_project pairs))

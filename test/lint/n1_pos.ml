@@ -1,0 +1,6 @@
+(* N1 fixture: a raw syscall with none of Frame's partial-io/EINTR
+   discipline. N1 is path-scoped to lib/net (minus frame.ml), so this
+   file is clean under its real test/lint path and dirty when linted
+   under the logical path lib/net/n1_pos.ml — the test does both. *)
+
+let drain fd buf = Unix.read fd buf 0 (Bytes.length buf)

@@ -1,0 +1,18 @@
+(* N2 negative space: a dominating bound check against the sanctioned
+   constants clears the taint (no finding, no suppression); the comment
+   hatch suppresses an unguarded site. [read_count] is the sanctioned
+   bounded reader, so its result is never tainted at all. *)
+
+let read_blob_checked r =
+  let len = Wire.Reader.read_gamma r in
+  if len > Frame.max_frame then invalid_arg "n2_allow: blob too large";
+  Bytes.create len
+
+let read_blob_blessed r =
+  let len = Wire.Reader.read_gamma r in
+  (* lint: allow N2 — fixture: caller bounds the enclosing frame *)
+  Bytes.create len
+
+let read_counted r =
+  let len = Codec.read_count r in
+  Bytes.create len

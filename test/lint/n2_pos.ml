@@ -1,0 +1,9 @@
+(* N2 fixture: allocations sized straight off the wire with no bound
+   check — once through a tainted let-binding, once inline. N2 fires
+   regardless of path (codecs live in lib/core and lib/net both). *)
+
+let read_blob r =
+  let len = Wire.Reader.read_gamma r in
+  Bytes.create len
+
+let read_slots r = Array.make (Wire.Reader.read_gamma r) 0

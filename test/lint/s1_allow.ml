@@ -1,0 +1,9 @@
+(* S1 escape hatches: the same cross-file escape as s1_pos.ml, once
+   suppressed by the attribute hatch and once by the comment hatch. *)
+
+let attr_form pool xs =
+  (Pool.run pool (fun () -> List.iter S1_glob.bump xs) [@lint.allow "S1"])
+
+let comment_form pool xs =
+  (* lint: allow S1 — fixture: synchronization story goes here *)
+  Pool.run pool (fun () -> List.iter S1_glob.bump xs)

@@ -1,0 +1,8 @@
+(* S2 escape hatch: the shard body still reaches the table mutation,
+   but the site documents its synchronization story. *)
+
+let tally tbl k = Hashtbl.replace tbl k 0
+
+let run_sharded pool tbl =
+  (* lint: allow S2 — fixture: per-shard tables merged after the join *)
+  Domain_pool.run pool (fun k -> tally tbl k)

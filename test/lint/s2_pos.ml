@@ -1,0 +1,8 @@
+(* S2 fixture: a growable-structure mutation (Hashtbl.replace on a
+   parameter the function did not create) reachable from a shard body
+   via the call graph. Same-file on purpose — S2 is about reachability
+   from the shard entry, not about crossing files. *)
+
+let tally tbl k = Hashtbl.replace tbl k 0
+
+let run_sharded pool tbl = Domain_pool.run pool (fun k -> tally tbl k)

@@ -1,0 +1,10 @@
+(* W1 escape hatches: attribute and comment forms over the same
+   out-of-range literals. In-range literals are simply clean. *)
+
+let attr_form r = (Wire.Reader.read_fixed r ~width:62 [@lint.allow "W1"])
+
+let comment_form w v =
+  (* lint: allow W1 — fixture: codec-internal width, proven elsewhere *)
+  Wire.Writer.add_fixed w v ~width:64
+
+let fine r = Wire.Reader.read_fixed r ~width:31

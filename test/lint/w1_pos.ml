@@ -1,0 +1,7 @@
+(* W1 fixture: literal codec widths outside [0, 61] — the read_gamma
+   k=62 bug class. Width 62 is exactly the seeded read_fixed call the
+   acceptance criteria name. *)
+
+let bad_read r = Wire.Reader.read_fixed r ~width:62
+
+let bad_write w v = Wire.Writer.add_fixed w v ~width:64

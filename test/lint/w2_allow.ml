@@ -1,0 +1,11 @@
+(* W2 negative space: a dominating guard on the width identifier makes
+   the site clean (no finding, no suppression); the comment hatch
+   suppresses an unguarded one. *)
+
+let copy_checked w v width =
+  if width > 61 then invalid_arg "w2_allow: width out of range";
+  Wire.Writer.add_fixed w v ~width
+
+let copy_blessed w v width =
+  (* lint: allow W2 — fixture: width bounded by the caller's schema *)
+  Wire.Writer.add_fixed w v ~width

@@ -1,0 +1,5 @@
+(* W2 fixture: a computed width reaching codec calls with no dominating
+   guard — both the read and the write site fire (hint level). *)
+
+let copy_field r w width =
+  Wire.Writer.add_fixed w (Wire.Reader.read_fixed r ~width) ~width

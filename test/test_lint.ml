@@ -24,6 +24,13 @@ let lint_cli =
 
 let read path = In_channel.with_open_bin path In_channel.input_all
 
+let contains haystack needle =
+  let nn = String.length needle and nh = String.length haystack in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
 let rules_of findings =
   List.sort_uniq String.compare
     (List.map (fun (f : Finding.t) -> f.Finding.rule) findings)
@@ -189,7 +196,10 @@ let test_cli_exit_codes () =
   Alcotest.(check int) "dirty fixture tree: exit 1" 1 code;
   Alcotest.(check bool) "text report names a rule" true
     (String.length out > 0);
-  let code, _ = run_cli (Printf.sprintf "--disable D1,D2,D3 --disable D5 %s" dir) in
+  let code, _ =
+    run_cli
+      (Printf.sprintf "--disable D1,D2,D3,D5 --disable S1,S2,N2,W1,W2 %s" dir)
+  in
   Alcotest.(check int) "all firing rules disabled: exit 0" 0 code;
   let code, out = run_cli (Printf.sprintf "--format json %s" dir) in
   Alcotest.(check int) "json format: still exit 1" 1 code;
@@ -297,6 +307,213 @@ let test_d4_shard_shapes () =
   Alcotest.(check int) "clean outside domain-shared dirs" 0
     (List.length findings)
 
+(* {2 Project-wide pass (lint v2): S/N/W rule families}
+
+   [project] lints fixtures under a chosen logical path so the
+   path-scoped rules (N1) can be exercised from test/lint. *)
+
+let project files =
+  Lint.lint_project
+    (List.map (fun (logical, name) -> (logical, read (fixture name))) files)
+
+let p_rules (r : Lint.project_report) = rules_of r.Lint.p_findings
+
+(* The acceptance demonstration: each half of the S1 pair is clean under
+   the per-file v1 pass, and only the summary-graph pass connects the
+   Pool.run closure to the global it writes two hops away. *)
+let test_s1_cross_file () =
+  List.iter
+    (fun name ->
+      let findings, _ = Lint.lint_file (fixture name) in
+      Alcotest.(check int) (name ^ ": v1 per-file pass sees nothing") 0
+        (List.length findings))
+    [ "s1_glob.ml"; "s1_pos.ml" ];
+  let r =
+    project [ ("s1_glob.ml", "s1_glob.ml"); ("s1_pos.ml", "s1_pos.ml") ]
+  in
+  Alcotest.(check (list string)) "v2 flags the escape as S1" [ "S1" ]
+    (p_rules r);
+  (match r.Lint.p_findings with
+  | [ f ] ->
+      Alcotest.(check string) "reported at the parallel call site"
+        "s1_pos.ml" f.Finding.file;
+      Alcotest.(check bool) "message names the global" true
+        (contains f.Finding.message "S1_glob.counter")
+  | l -> Alcotest.failf "expected exactly one S1 finding, got %d" (List.length l));
+  let r =
+    project [ ("s1_glob.ml", "s1_glob.ml"); ("s1_allow.ml", "s1_allow.ml") ]
+  in
+  Alcotest.(check int) "attribute and comment hatches both work" 0
+    (List.length r.Lint.p_findings);
+  Alcotest.(check int) "and both count as suppressed" 2 r.Lint.p_suppressed
+
+let test_s2_shard_mutation () =
+  let r = project [ ("s2_pos.ml", "s2_pos.ml") ] in
+  Alcotest.(check (list string)) "shard body reaching Hashtbl.replace is S2"
+    [ "S2" ] (p_rules r);
+  Alcotest.(check int) "one finding" 1 (List.length r.Lint.p_findings);
+  let r = project [ ("s2_allow.ml", "s2_allow.ml") ] in
+  Alcotest.(check int) "comment hatch suppresses" 0
+    (List.length r.Lint.p_findings);
+  Alcotest.(check int) "suppression counted" 1 r.Lint.p_suppressed
+
+let test_n1_path_scoping () =
+  let src = read (fixture "n1_pos.ml") in
+  let r = Lint.lint_project [ ("lib/net/n1_pos.ml", src) ] in
+  Alcotest.(check (list string)) "raw Unix.read under lib/net is N1" [ "N1" ]
+    (p_rules r);
+  let r = Lint.lint_project [ ("lib/net/frame.ml", src) ] in
+  Alcotest.(check int) "frame.ml owns the EINTR loops: exempt" 0
+    (List.length r.Lint.p_findings);
+  let r = project [ ("n1_pos.ml", "n1_pos.ml") ] in
+  Alcotest.(check int) "clean outside lib/net" 0 (List.length r.Lint.p_findings);
+  let allow = read (fixture "n1_allow.ml") in
+  let r = Lint.lint_project [ ("lib/net/n1_allow.ml", allow) ] in
+  Alcotest.(check int) "comment hatch suppresses" 0
+    (List.length r.Lint.p_findings);
+  Alcotest.(check int) "suppression counted" 1 r.Lint.p_suppressed
+
+let test_n2_taint () =
+  let r = project [ ("n2_pos.ml", "n2_pos.ml") ] in
+  Alcotest.(check (list string)) "unchecked wire-sized allocations are N2"
+    [ "N2" ] (p_rules r);
+  Alcotest.(check int) "let-bound taint and inline read both fire" 2
+    (List.length r.Lint.p_findings);
+  let r = project [ ("n2_allow.ml", "n2_allow.ml") ] in
+  Alcotest.(check int)
+    "bound check clears taint; read_count never taints; hatch suppresses" 0
+    (List.length r.Lint.p_findings);
+  Alcotest.(check int) "only the hatch counts as suppressed" 1
+    r.Lint.p_suppressed
+
+let test_w1_literal_widths () =
+  let r = project [ ("w1_pos.ml", "w1_pos.ml") ] in
+  Alcotest.(check (list string)) "literal widths 62 and 64 are W1" [ "W1" ]
+    (p_rules r);
+  Alcotest.(check int) "both out-of-range literals fire" 2
+    (List.length r.Lint.p_findings);
+  let r = project [ ("w1_allow.ml", "w1_allow.ml") ] in
+  Alcotest.(check int) "hatches suppress; width 31 is simply clean" 0
+    (List.length r.Lint.p_findings);
+  Alcotest.(check int) "two suppressions" 2 r.Lint.p_suppressed
+
+let test_w2_computed_widths () =
+  let r = project [ ("w2_pos.ml", "w2_pos.ml") ] in
+  Alcotest.(check (list string)) "unguarded computed widths are W2" [ "W2" ]
+    (p_rules r);
+  Alcotest.(check int) "read and write site both hinted" 2
+    (List.length r.Lint.p_findings);
+  let r = project [ ("w2_allow.ml", "w2_allow.ml") ] in
+  Alcotest.(check int) "dominating guard is clean; hatch suppresses" 0
+    (List.length r.Lint.p_findings);
+  Alcotest.(check int) "only the hatch counts as suppressed" 1
+    r.Lint.p_suppressed
+
+(* A floating [@@@lint.allow "ID"] relaxes the rule from the attribute to
+   the end of the file — sites above it still fire. *)
+let test_floating_allow () =
+  let below =
+    "[@@@lint.allow \"D5\"]\n\
+     let f x = print_endline x\n\
+     let g y = print_endline y\n"
+  in
+  let findings, suppressed = Lint.lint_string ~filename:"lib/core/x.ml" below in
+  Alcotest.(check int) "whole file relaxed: no findings" 0
+    (List.length findings);
+  Alcotest.(check int) "both sites suppressed" 2 suppressed;
+  let split =
+    "let f x = print_endline x\n\
+     [@@@lint.allow \"D5\"]\n\
+     let g y = print_endline y\n"
+  in
+  let findings, suppressed = Lint.lint_string ~filename:"lib/core/x.ml" split in
+  Alcotest.(check (list string)) "site above the attribute still fires"
+    [ "D5" ] (rules_of findings);
+  Alcotest.(check int) "site below is suppressed" 1 suppressed
+
+(* Baseline ratcheting: a report blesses its own findings; only new
+   findings escape. *)
+let test_baseline_roundtrip () =
+  let pairs =
+    [
+      ("s2_pos.ml", read (fixture "s2_pos.ml"));
+      ("w1_pos.ml", read (fixture "w1_pos.ml"));
+    ]
+  in
+  let r = Lint.lint_project pairs in
+  Alcotest.(check int) "dirty without a baseline" 3
+    (List.length r.Lint.p_findings);
+  let bl = Lint.baseline_of_json (Lint.to_json_v2 r) in
+  Alcotest.(check int) "baseline captures every finding" 3 (List.length bl);
+  let r2 = Lint.lint_project ~baseline:bl pairs in
+  Alcotest.(check int) "clean under its own baseline" 0
+    (List.length r2.Lint.p_findings);
+  Alcotest.(check int) "ratchet counted" 3 r2.Lint.p_baseline_suppressed;
+  let r3 =
+    Lint.lint_project ~baseline:bl
+      (("n2_pos.ml", read (fixture "n2_pos.ml")) :: pairs)
+  in
+  Alcotest.(check (list string)) "a new finding still escapes the ratchet"
+    [ "N2" ] (rules_of r3.Lint.p_findings)
+
+(* Byte-stable lint-report/v2 over a fixed logical project, against the
+   committed golden. Regenerate with test/gen_v2_golden (see its header)
+   if the format changes deliberately. *)
+let test_report_v2_golden () =
+  let pairs =
+    List.map
+      (fun (logical, name) -> (logical, read (fixture name)))
+      [
+        ("lib/net/n1_pos.ml", "n1_pos.ml");
+        ("s1_glob.ml", "s1_glob.ml");
+        ("s1_pos.ml", "s1_pos.ml");
+        ("s2_pos.ml", "s2_pos.ml");
+        ("w1_pos.ml", "w1_pos.ml");
+      ]
+  in
+  let json = Lint.to_json_v2 (Lint.lint_project pairs) in
+  Alcotest.(check string) "deterministic" json
+    (Lint.to_json_v2 (Lint.lint_project pairs));
+  Alcotest.(check bool) "v2 schema marker" true
+    (contains json "\"schema\":\"lint-report/v2\"");
+  Alcotest.(check string) "matches the committed golden"
+    (read (fixture "report_v2_golden.json"))
+    json
+
+(* {2 lint_cli: baseline flag and SARIF renderer} *)
+
+let test_cli_baseline () =
+  let dir = Filename.concat exe_dir "lint" in
+  let code, json = run_cli (Printf.sprintf "--format json %s" dir) in
+  Alcotest.(check int) "dirty tree: exit 1" 1 code;
+  let bl_file = Filename.temp_file "lint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists bl_file then Sys.remove bl_file)
+    (fun () ->
+      Out_channel.with_open_bin bl_file (fun oc ->
+          Out_channel.output_string oc json);
+      let code, _ =
+        run_cli (Printf.sprintf "--baseline %s %s" bl_file dir)
+      in
+      Alcotest.(check int) "clean under its own baseline: exit 0" 0 code);
+  let code, _ = run_cli (Printf.sprintf "--baseline /nonexistent.json %s" dir) in
+  Alcotest.(check int) "missing baseline file: exit 2" 2 code
+
+let test_cli_sarif () =
+  let dir = Filename.concat exe_dir "lint" in
+  let code, out = run_cli (Printf.sprintf "--format sarif %s" dir) in
+  Alcotest.(check int) "sarif on a dirty tree: still exit 1" 1 code;
+  Alcotest.(check bool) "sarif envelope" true
+    (contains out "\"version\":\"2.1.0\"");
+  Alcotest.(check bool) "rules carried in the driver" true
+    (contains out "\"id\":\"W1\"");
+  Alcotest.(check bool) "errors for hard rules" true
+    (contains out "\"level\":\"error\"");
+  Alcotest.(check bool) "W2 demoted to note" true
+    (contains out "\"level\":\"note\"");
+  let _, out2 = run_cli (Printf.sprintf "--format sarif %s" dir) in
+  Alcotest.(check string) "byte-stable" out out2
+
 let suite =
   ( "lint",
     [
@@ -316,7 +533,24 @@ let suite =
       Alcotest.test_case "report stability" `Quick test_report_stability;
       Alcotest.test_case "lib tree self-clean" `Quick
         test_lib_tree_self_clean;
+      Alcotest.test_case "S1 cross-file escape (v1 misses, v2 catches)"
+        `Quick test_s1_cross_file;
+      Alcotest.test_case "S2 shard-body mutation" `Quick
+        test_s2_shard_mutation;
+      Alcotest.test_case "N1 raw-syscall path scoping" `Quick
+        test_n1_path_scoping;
+      Alcotest.test_case "N2 wire-sized allocation taint" `Quick
+        test_n2_taint;
+      Alcotest.test_case "W1 literal widths" `Quick test_w1_literal_widths;
+      Alcotest.test_case "W2 computed widths" `Quick
+        test_w2_computed_widths;
+      Alcotest.test_case "floating allow scope" `Quick test_floating_allow;
+      Alcotest.test_case "baseline round trip" `Quick test_baseline_roundtrip;
+      Alcotest.test_case "lint-report/v2 golden" `Quick
+        test_report_v2_golden;
       Alcotest.test_case "lint_cli exit codes" `Quick test_cli_exit_codes;
+      Alcotest.test_case "lint_cli --baseline" `Quick test_cli_baseline;
+      Alcotest.test_case "lint_cli SARIF output" `Quick test_cli_sarif;
       Alcotest.test_case "lint_cli injected violation" `Quick
         test_cli_injected_violation;
       Alcotest.test_case "byz trace identical under randomized hashing"
