@@ -134,7 +134,8 @@ let committed_field ~file ~path ~n ~key =
   in
   let s =
     cut_at "\"pre_overhaul\""
-      (cut_at "\"pre_fastpath\"" (cut_at "\"pre_flatten\"" s))
+      (cut_at "\"pre_fastpath\""
+         (cut_at "\"pre_flatten\"" (cut_at "\"pre_intern\"" s)))
   in
   match find_sub s (Printf.sprintf "{\"path\":\"%s\",\"n\":%d," path n) with
   | None -> None

@@ -189,6 +189,15 @@ end
 
 module Net = Repro_sim.Engine.Make (Msg)
 
+(* Interned message values (the crash protocol's verdict-interning
+   mechanism, applied to this protocol's shareable payloads): module-
+   level constants are static data, so the hot paths below ship one
+   physical value instead of allocating a constructor per recipient —
+   and the engine's physical-equality size memo prices each once. *)
+let msg_new_null = Msg.New None
+let msg_diff_true = Msg.Diff true
+let msg_diff_false = Msg.Diff false
+
 type committee_mode = Shared_pool | Everyone | Local_coin of float
 type reconcile_mode = Fingerprint_dnc | Ship_segments
 
@@ -306,7 +315,10 @@ let reconcile_identity_list ~mode ~consensus ~net ~key ~namespace l =
               (* One round of diff reports: if more members than the
                  fault bound report a mismatch, at least one correct
                  member truly differs and everyone escalates. *)
-              let inbox = Committee_net.broadcast net (Msg.Diff diff_v) in
+              let inbox =
+                Committee_net.broadcast net
+                  (if diff_v then msg_diff_true else msg_diff_false)
+              in
               let reports =
                 List.length
                   (List.filter
@@ -516,13 +528,25 @@ struct
            cumulative word-parallel popcount walk over [l] — O(N/w + n)
            for the whole stage instead of O(n·N/w) repeated rank scans. *)
         let prev = ref 0 and acc = ref 0 in
+        (* Verdict interning: dirty recipients share the static [null]
+           value, and an announced identity absent from the reconciled
+           list repeats its predecessor's rank — reuse that message
+           too instead of boxing the same rank again. *)
+        let last_rank = ref (-1) in
+        let last_msg = ref msg_new_null in
         let out =
           List.map
             (fun u ->
               acc := !acc + Bitvec.count l (Interval.make (!prev + 1) u);
               prev := u;
-              if in_dirty u then (u, Msg.New None)
-              else (u, Msg.New (Some !acc)))
+              if in_dirty u then (u, msg_new_null)
+              else begin
+                if !acc <> !last_rank then begin
+                  last_rank := !acc;
+                  last_msg := Msg.New (Some !acc)
+                end;
+                (u, !last_msg)
+              end)
             announced
         in
         Net.exchange ctx out

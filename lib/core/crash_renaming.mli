@@ -23,8 +23,10 @@ module Msg : sig
     | Notify  (** committee-membership announcement (round 1) *)
     | Status of { id : int; iv : Repro_util.Interval.t; d : int; p : int }
         (** node report (round 2) *)
-    | Response of { id : int; iv : Repro_util.Interval.t; d : int; p : int }
-        (** committee verdict (round 3) *)
+    | Response of { iv : Repro_util.Interval.t; d : int; p : int }
+        (** committee verdict (round 3) — carries no id: the engine
+            names the recipient on the envelope, and the omission lets
+            one physically-shared value serve a whole verdict group *)
 
   val bits : t -> int
   (** Exact encoded size: tested equal to [snd (encode m)]. *)
@@ -111,9 +113,14 @@ type telemetry = {
     (Lemmas 2.2/2.3/2.5) and the tracing example; all nodes run in one
     process, so the hook may aggregate across nodes. *)
 
-val program : ?telemetry:telemetry -> params -> Net.ctx -> int
+val program :
+  ?telemetry:telemetry -> ?alloc_emit:float ref -> params -> Net.ctx -> int
 (** The per-node program; returns the node's new identity in [[1, n]].
-    Run it through {!Net.run} or the {!run} convenience wrapper. *)
+    Run it through {!Net.run} or the {!run} convenience wrapper.
+    [alloc_emit] accumulates the minor words allocated by committee
+    emission (verdict build + outbox fill) — the protocol half of the
+    {!Repro_sim.Engine.alloc_probe} attribution; meaningful only when
+    every node of a run shares one cell on one domain. *)
 
 (** The same node program over an arbitrary network backend: any module
     satisfying {!Repro_net.Network_intf.S} on this protocol's message
@@ -122,7 +129,8 @@ val program : ?telemetry:telemetry -> params -> Net.ctx -> int
     instantiating at [Repro_net.Socket_net.Host (Msg)] runs the
     identical node code across OS processes (see [bin/net_node_cli]). *)
 module Make_node (Net : Repro_net.Network_intf.S with type msg = Msg.t) : sig
-  val program : ?telemetry:telemetry -> params -> Net.ctx -> int
+  val program :
+    ?telemetry:telemetry -> ?alloc_emit:float ref -> params -> Net.ctx -> int
 end
 
 val run :
@@ -130,6 +138,7 @@ val run :
   ?telemetry:telemetry ->
   ?crash:Net.crash_adversary ->
   ?tap:(round:int -> Net.envelope -> unit) ->
+  ?alloc_probe:Repro_sim.Engine.alloc_probe ->
   ?on_crash:(round:int -> id:int -> unit) ->
   ?on_decide:(round:int -> id:int -> unit) ->
   ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
@@ -143,9 +152,12 @@ val run :
     [Engine.run] for their contracts — [Experiment] wires them to a
     [Repro_obs.Trace] recorder). [shards] passes through too
     (bit-identical results for every count), except that a [telemetry]
-    run always executes sequentially: the telemetry hooks may aggregate
-    across nodes from inside the fibers, which is only deterministic on
-    one domain. *)
+    or [alloc_probe] run always executes sequentially: telemetry hooks
+    may aggregate across nodes from inside the fibers and the probe's
+    emission cell is shared by all nodes, which is only deterministic
+    on one domain. An attached [alloc_probe] additionally gets
+    [ap_emit] filled with the committee-emission share of the resume
+    bracket. *)
 
 (** Test-only seams into the committee internals. *)
 module For_tests : sig

@@ -60,8 +60,8 @@ let trace_hooks trace =
     Option.map (fun t ~round ~id -> Trace.on_decide t ~round ~id) trace,
     Option.map (fun t ~round m -> Trace.on_round_end t ~round m) trace )
 
-let run_crash ?trace ?committee_path ?shards ~protocol ~n ~namespace
-    ~adversary ~seed () =
+let run_crash ?trace ?committee_path ?alloc_probe ?shards ~protocol ~n
+    ~namespace ~adversary ~seed () =
   let ids = random_ids ~seed:(seed lxor 0x1d5) ~namespace ~n in
   let rng = Rng.of_seed (seed lxor 0xadce5) in
   let on_crash, on_decide, on_round_end = trace_hooks trace in
@@ -115,7 +115,7 @@ let run_crash ?trace ?committee_path ?shards ~protocol ~n ~namespace
               { Crash_renaming.experiment_params with committee_path }
         in
         Crash_renaming.run ~params ~ids ~crash:(A.make adversary) ?tap
-          ?on_crash ?on_decide ?on_round_end ~seed ?shards ()
+          ?alloc_probe ?on_crash ?on_decide ?on_round_end ~seed ?shards ()
     | Halving_baseline ->
         let module A = Adversary (struct
           type adv = Halving_renaming.Net.crash_adversary
@@ -129,7 +129,8 @@ let run_crash ?trace ?committee_path ?shards ~protocol ~n ~namespace
             trace
         in
         Halving_renaming.run ?committee_path ~ids ~crash:(A.make adversary)
-          ?tap ?on_crash ?on_decide ?on_round_end ~seed ?shards ()
+          ?tap ?alloc_probe ?on_crash ?on_decide ?on_round_end ~seed ?shards
+          ()
     | Flooding_baseline ->
         let module A = Adversary (struct
           type adv = Flooding_renaming.Net.crash_adversary

@@ -44,6 +44,7 @@ val byz_adversary_f : byz_adversary -> int
 val run_crash :
   ?trace:Repro_obs.Trace.t ->
   ?committee_path:Crash_renaming.committee_path ->
+  ?alloc_probe:Repro_sim.Engine.alloc_probe ->
   ?shards:int ->
   protocol:crash_protocol ->
   n:int ->
@@ -68,7 +69,11 @@ val run_crash :
 
     [shards] splits the engine's per-round work across domains
     ([Engine.run]'s parameter, bit-identical results — and identical
-    trace records — for every count). *)
+    trace records — for every count).
+
+    [alloc_probe] attaches {!Crash_renaming.run}'s per-phase minor-word
+    attribution; it forces a sequential run and only applies to
+    [This_work_crash] (the baselines ignore it). *)
 
 val run_byz :
   ?trace:Repro_obs.Trace.t ->

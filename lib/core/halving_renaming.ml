@@ -22,12 +22,12 @@ struct
   let program ctx = Node.program params ctx
 end
 
-let run ?committee_path ?crash ?tap ?on_crash ?on_decide ?on_round_end ?seed
-    ?shards ~ids () =
+let run ?committee_path ?crash ?tap ?alloc_probe ?on_crash ?on_decide
+    ?on_round_end ?seed ?shards ~ids () =
   let params =
     match committee_path with
     | None -> params
     | Some committee_path -> { params with Crash_renaming.committee_path }
   in
-  Crash_renaming.run ~params ?crash ?tap ?on_crash ?on_decide ?on_round_end
-    ?seed ?shards ~ids ()
+  Crash_renaming.run ~params ?crash ?tap ?alloc_probe ?on_crash ?on_decide
+    ?on_round_end ?seed ?shards ~ids ()

@@ -35,6 +35,7 @@ val run :
   ?committee_path:Crash_renaming.committee_path ->
   ?crash:Net.crash_adversary ->
   ?tap:(round:int -> Net.envelope -> unit) ->
+  ?alloc_probe:Repro_sim.Engine.alloc_probe ->
   ?on_crash:(round:int -> id:int -> unit) ->
   ?on_decide:(round:int -> id:int -> unit) ->
   ?on_round_end:(round:int -> Repro_sim.Metrics.t -> unit) ->
@@ -44,5 +45,6 @@ val run :
   unit ->
   int Repro_sim.Engine.run_result
 (** Wrapper over {!Crash_renaming.run} with the all-to-all parameters;
-    the observability hooks and [shards] pass straight through to
-    [Engine.run]. *)
+    the observability hooks, [alloc_probe] and [shards] pass straight
+    through to [Engine.run] (an attached probe forces the sequential
+    loop, like telemetry). *)

@@ -125,6 +125,14 @@ let mutable_ctors =
     "Array.init";
     "Atomic.make";
     "Weak.create";
+    (* round-scoped arenas (lib/util/arena.ml): a top-level arena is
+       cross-run — and under sharding cross-domain — reusable mutable
+       state; arenas must be owned by per-run protocol state (see
+       test/lint/d4_arena.ml) *)
+    "Arena.Vec.create";
+    "Vec.create";
+    "Arena.Bitpool.create";
+    "Bitpool.create";
   ]
 
 (* {2 Attribute escape hatch} *)

@@ -161,6 +161,12 @@ let mutating_ops =
     ([ "Writer"; "add_fixed" ], 0, true);
     ([ "Writer"; "add_gamma" ], 0, true);
     ([ "Writer"; "add_zeros" ], 0, true);
+    ([ "Vec"; "push" ], 0, true);
+    ([ "Vec"; "reserve" ], 0, true);
+    ([ "Vec"; "set" ], 0, false);
+    ([ "Vec"; "clear" ], 0, true);
+    ([ "Bitpool"; "acquire" ], 0, true);
+    ([ "Bitpool"; "release" ], 0, true);
     ([ "Queue"; "add" ], 1, true);
     ([ "Queue"; "push" ], 1, true);
     ([ "Queue"; "pop" ], 0, true);
@@ -204,6 +210,8 @@ let mutable_ctor_heads =
     [ "Atomic"; "make" ];
     [ "Weak"; "create" ];
     [ "Writer"; "create" ];
+    [ "Vec"; "create" ];
+    [ "Bitpool"; "create" ];
   ]
 
 (* Raw byte-io syscalls N1 polices: reading or writing without the

@@ -11,6 +11,26 @@ type 'r run_result = {
 
 exception Max_rounds_exceeded of int
 
+(* Minor-word attribution across the sequential round loop's phases.
+   [ap_deliver] counts the transmit phase (byzantine traffic, crash
+   orders, metrics billing, inbox pushes); [ap_resume] the node resumes
+   — i.e. everything the fibers do, protocol emission included;
+   [ap_book] the engine's own round bookkeeping (view install/rewind,
+   round-end hooks). Protocols that bracket their own emission (see
+   [Crash_renaming.run ?alloc_probe]) fill [ap_emit], so consumption
+   separates as [ap_resume -. ap_emit]. Filled only by the sequential
+   loop: under sharding, domains allocate from private minor heaps and
+   a single counter would under-report. *)
+type alloc_probe = {
+  mutable ap_emit : float;
+  mutable ap_deliver : float;
+  mutable ap_resume : float;
+  mutable ap_book : float;
+}
+
+let alloc_probe () =
+  { ap_emit = 0.; ap_deliver = 0.; ap_resume = 0.; ap_book = 0. }
+
 module type MSG = sig
   type t
 
@@ -290,7 +310,7 @@ module Make (M : MSG) = struct
      no-fault executions skip observation construction entirely. *)
   let no_crash : crash_adversary = fun _ -> []
 
-  let run ~ids ?byz ?(crash = no_crash) ?tap ?on_crash ?on_decide
+  let run ~ids ?byz ?(crash = no_crash) ?tap ?alloc_probe ?on_crash ?on_decide
       ?on_round_end ?(max_rounds = 100_000) ?(seed = 1) ?shards ~program () =
     let n = Array.length ids in
     let shards =
@@ -605,133 +625,160 @@ module Make (M : MSG) = struct
         filters
       end
     in
+    (* The sequential loop's per-slot sweeps, hoisted: one closure per
+       run instead of one per round. The transmit sweep needs this
+       round's victim filters, so they ride in a cell written at the
+       top of each round rather than a parameter. *)
+    let cur_victims : (envelope -> bool) option array ref = ref [||] in
+    let emit_byz s =
+      let out =
+        byz_strategy ~byz_id:ids.(s) ~round:!current_round
+          ~inbox:byz_prev_inbox.(s)
+      in
+      List.iter
+        (fun (_, msg) -> Metrics.add_byz metrics ~bits:(bits_of s msg))
+        out;
+      byz_out.(s) <- out
+    in
+    let snapshot_byz_inbox s =
+      byz_prev_inbox.(s) <- Inbox.to_list views.(s)
+    in
+    (* Hot no-fault multisend/unicast delivery, as plain recursion: the
+       [List.iter] closures here captured the per-sender message and
+       allocated on every sender of every round. *)
+    let rec send_multi src m = function
+      | [] -> ()
+      | dst :: tl ->
+          deliver_honest src dst m;
+          send_multi src m tl
+    in
+    let rec send_unicast src b0 m0 = function
+      | [] -> ()
+      | (dst, msg) :: tl ->
+          Metrics.add_honest metrics
+            ~bits:(if msg == m0 then b0 else M.bits msg);
+          deliver_honest src dst msg;
+          send_unicast src b0 m0 tl
+    in
+    let transmit_slot s =
+      match states.(s) with
+      | Byz_node ->
+          let src = ids.(s) in
+          List.iter
+            (fun (dst, msg) ->
+              match Hashtbl.find_opt slot_of dst with
+              | Some d -> receive d src msg
+              | None -> Metrics.record_byz_misaddressed metrics)
+            byz_out.(s);
+          byz_out.(s) <- []
+      | Running (Yield (out, _)) -> (
+          match pre_envs.(s) with
+          | Some envs -> (
+              (* Fallback path: reuse the envelopes already
+                 materialized for the adversary's observation. *)
+              pre_envs.(s) <- None;
+              match out with
+              | Broadcast m ->
+                  Metrics.add_honest_n metrics ~count:n
+                    ~bits_each:(bits_of s m);
+                  deliver_broadcast_envs envs
+              | Multisend (_, m) ->
+                  Metrics.add_honest_n metrics
+                    ~count:(List.length envs) ~bits_each:(bits_of s m);
+                  List.iter deliver_honest_env envs
+              | Unicast _ -> (
+                  (* A unicast outbox usually repeats one physical
+                     message (a status fanned to the committee):
+                     size it once. *)
+                  match envs with
+                  | [] -> ()
+                  | e0 :: _ ->
+                      let m0 = e0.msg in
+                      let b0 = M.bits m0 in
+                      List.iter
+                        (fun (e : envelope) ->
+                          Metrics.add_honest metrics
+                            ~bits:
+                              (if e.msg == m0 then b0 else M.bits e.msg);
+                          deliver_honest_env e)
+                        envs)
+              | Sized { sizes; _ } ->
+                  (* [envs] was materialized from the batch in
+                     index order, so sizes line up positionally. *)
+                  List.iteri
+                    (fun k (e : envelope) ->
+                      Metrics.add_honest metrics ~bits:sizes.(k);
+                      deliver_honest_env e)
+                    envs)
+          | None -> (
+              let src = ids.(s) in
+              match out with
+              | Broadcast m ->
+                  (* Fast path: one metrics update, one shared
+                     entry visible to all live recipients — no
+                     envelope records, no per-recipient copies.
+                     With a tap attached the per-recipient
+                     envelopes still materialize for it alone, in
+                     the contract's order. *)
+                  Metrics.add_honest_n metrics ~count:n
+                    ~bits_each:(bits_of s m);
+                  if tap_present then
+                    for d = 0 to n - 1 do
+                      tap_send ~src ~dst:ids.(d) m
+                    done;
+                  shared_push src m
+              | Multisend (dsts, m) ->
+                  Metrics.add_honest_n metrics ~count:(List.length dsts)
+                    ~bits_each:(bits_of s m);
+                  send_multi src m dsts
+              | Unicast [] -> ()
+              | Unicast ((_, m0) :: _ as l) ->
+                  send_unicast src (M.bits m0) m0 l
+              | Sized { dsts; msgs; sizes; len } ->
+                  for k = 0 to len - 1 do
+                    Metrics.add_honest metrics
+                      ~bits:(Array.unsafe_get sizes k);
+                    deliver_honest src
+                      (Array.unsafe_get dsts k)
+                      (Array.unsafe_get msgs k)
+                  done))
+      | Dead _ when pre_envs.(s) <> None ->
+          let envs = Option.get pre_envs.(s) in
+          pre_envs.(s) <- None;
+          let keep =
+            Option.value ~default:(fun _ -> true) !cur_victims.(s)
+          in
+          List.iter
+            (fun (e : envelope) ->
+              if keep e then begin
+                Metrics.add_honest metrics ~bits:(bits_of s e.msg);
+                deliver_honest_env e
+              end)
+            envs
+      | Running (Done _) | Finished _ | Dead _ -> ()
+    in
+    (* Minor-word phase attribution (see {!alloc_probe}): brackets are
+       read only when a probe is attached, so the hookless hot loop
+       pays nothing. *)
+    let probing = alloc_probe <> None in
+    let minor_words () = if probing then Gc.minor_words () else 0. in
     let rec loop () =
       if !running_count = 0 then ()
       else if !current_round >= max_rounds then
         raise (Max_rounds_exceeded max_rounds)
       else begin
         let round_no = !current_round in
+        let w0 = minor_words () in
         (* 1. Byzantine traffic for this round, from last round's
            inboxes (each Byzantine inbox is built exactly once). *)
-        Array.iter
-          (fun s ->
-            let out =
-              byz_strategy ~byz_id:ids.(s) ~round:round_no
-                ~inbox:byz_prev_inbox.(s)
-            in
-            List.iter
-              (fun (_, msg) -> Metrics.add_byz metrics ~bits:(bits_of s msg))
-              out;
-            byz_out.(s) <- out)
-          byz_slots;
+        Array.iter emit_byz byz_slots;
         (* 2. Crash orders for this round. *)
-        let victim_filter = apply_crash_orders round_no in
+        cur_victims := apply_crash_orders round_no;
         (* 3. Transmit, senders in ascending id order: full outbox for
            survivors, the adversary-chosen subset for nodes crashed
            mid-send. Both inbox streams fill sorted by construction. *)
-        Array.iter
-          (fun s ->
-            match states.(s) with
-            | Byz_node ->
-                let src = ids.(s) in
-                List.iter
-                  (fun (dst, msg) ->
-                    match Hashtbl.find_opt slot_of dst with
-                    | Some d -> receive d src msg
-                    | None -> Metrics.record_byz_misaddressed metrics)
-                  byz_out.(s);
-                byz_out.(s) <- []
-            | Running (Yield (out, _)) -> (
-                match pre_envs.(s) with
-                | Some envs -> (
-                    (* Fallback path: reuse the envelopes already
-                       materialized for the adversary's observation. *)
-                    pre_envs.(s) <- None;
-                    match out with
-                    | Broadcast m ->
-                        Metrics.add_honest_n metrics ~count:n
-                          ~bits_each:(bits_of s m);
-                        deliver_broadcast_envs envs
-                    | Multisend (_, m) ->
-                        Metrics.add_honest_n metrics
-                          ~count:(List.length envs) ~bits_each:(bits_of s m);
-                        List.iter deliver_honest_env envs
-                    | Unicast _ -> (
-                        (* A unicast outbox usually repeats one physical
-                           message (a status fanned to the committee):
-                           size it once. *)
-                        match envs with
-                        | [] -> ()
-                        | e0 :: _ ->
-                            let m0 = e0.msg in
-                            let b0 = M.bits m0 in
-                            List.iter
-                              (fun (e : envelope) ->
-                                Metrics.add_honest metrics
-                                  ~bits:
-                                    (if e.msg == m0 then b0 else M.bits e.msg);
-                                deliver_honest_env e)
-                              envs)
-                    | Sized { sizes; _ } ->
-                        (* [envs] was materialized from the batch in
-                           index order, so sizes line up positionally. *)
-                        List.iteri
-                          (fun k (e : envelope) ->
-                            Metrics.add_honest metrics ~bits:sizes.(k);
-                            deliver_honest_env e)
-                          envs)
-                | None -> (
-                    let src = ids.(s) in
-                    match out with
-                    | Broadcast m ->
-                        (* Fast path: one metrics update, one shared
-                           entry visible to all live recipients — no
-                           envelope records, no per-recipient copies.
-                           With a tap attached the per-recipient
-                           envelopes still materialize for it alone, in
-                           the contract's order. *)
-                        Metrics.add_honest_n metrics ~count:n
-                          ~bits_each:(bits_of s m);
-                        if tap_present then
-                          for d = 0 to n - 1 do
-                            tap_send ~src ~dst:ids.(d) m
-                          done;
-                        shared_push src m
-                    | Multisend (dsts, m) ->
-                        Metrics.add_honest_n metrics
-                          ~count:(List.length dsts) ~bits_each:(bits_of s m);
-                        List.iter (fun dst -> deliver_honest src dst m) dsts
-                    | Unicast [] -> ()
-                    | Unicast ((_, m0) :: _ as l) ->
-                        let b0 = M.bits m0 in
-                        List.iter
-                          (fun (dst, msg) ->
-                            Metrics.add_honest metrics
-                              ~bits:(if msg == m0 then b0 else M.bits msg);
-                            deliver_honest src dst msg)
-                          l
-                    | Sized { dsts; msgs; sizes; len } ->
-                        for k = 0 to len - 1 do
-                          Metrics.add_honest metrics
-                            ~bits:(Array.unsafe_get sizes k);
-                          deliver_honest src
-                            (Array.unsafe_get dsts k)
-                            (Array.unsafe_get msgs k)
-                        done))
-            | Dead _ when pre_envs.(s) <> None ->
-                let envs = Option.get pre_envs.(s) in
-                pre_envs.(s) <- None;
-                let keep = Option.value ~default:(fun _ -> true)
-                    victim_filter.(s) in
-                List.iter
-                  (fun (e : envelope) ->
-                    if keep e then begin
-                      Metrics.add_honest metrics ~bits:(bits_of s e.msg);
-                      deliver_honest_env e
-                    end)
-                  envs
-            | Running (Done _) | Finished _ | Dead _ -> ())
-          order;
+        Array.iter transmit_slot order;
+        let w1 = minor_words () in
         Metrics.end_round metrics;
         incr current_round;
         (* Install this round's shared broadcast arrays into every live
@@ -755,9 +802,8 @@ module Make (M : MSG) = struct
            (in array order, like fiber start) up to their next barrier.
            A view is only valid during the resume below — the arrays
            are rewound and refilled next round. *)
-        Array.iter
-          (fun s -> byz_prev_inbox.(s) <- Inbox.to_list views.(s))
-          byz_slots;
+        Array.iter snapshot_byz_inbox byz_slots;
+        let w2 = minor_words () in
         for s = 0 to n - 1 do
           match states.(s) with
           | Running (Yield (_, k)) ->
@@ -773,6 +819,7 @@ module Make (M : MSG) = struct
                 | step -> Running step)
           | Running (Done _) | Finished _ | Dead _ | Byz_node -> ()
         done;
+        let w3 = minor_words () in
         (* Rewind all views for the next round's fill. *)
         for s = 0 to n - 1 do
           let v = views.(s) in
@@ -784,6 +831,13 @@ module Make (M : MSG) = struct
            round's inboxes are already reported when the hook fires. The
            metrics row for [round_no] is closed at this point. *)
         note_round_end ~round:round_no;
+        (match alloc_probe with
+        | Some p ->
+            let w4 = minor_words () in
+            p.ap_deliver <- p.ap_deliver +. (w1 -. w0);
+            p.ap_resume <- p.ap_resume +. (w3 -. w2);
+            p.ap_book <- p.ap_book +. (w2 -. w1) +. (w4 -. w3)
+        | None -> ());
         loop ()
       end
     in

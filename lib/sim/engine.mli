@@ -50,6 +50,28 @@ type 'r run_result = {
 
 exception Max_rounds_exceeded of int
 
+type alloc_probe = {
+  mutable ap_emit : float;
+      (** minor words allocated by protocol-side emission (the verdict
+          build + sized-outbox fill); filled by protocols that bracket
+          it — see [Crash_renaming.run ?alloc_probe] — not the engine *)
+  mutable ap_deliver : float;
+      (** the engine's transmit phase: byzantine traffic, crash orders,
+          metrics billing, inbox pushes *)
+  mutable ap_resume : float;
+      (** the node resumes — everything the fibers allocate, protocol
+          emission included, so consumption-side allocation separates
+          as [ap_resume -. ap_emit] *)
+  mutable ap_book : float;
+      (** engine round bookkeeping: view install/rewind, hooks *)
+}
+(** Per-phase minor-word attribution for one run, accumulated across
+    rounds by the {e sequential} loop ([shards = 1]); sharded runs
+    leave the probe untouched (domains allocate from private minor
+    heaps, a single counter would under-report). *)
+
+val alloc_probe : unit -> alloc_probe
+(** A fresh all-zero probe. *)
 
 module type MSG = sig
   type t
@@ -217,6 +239,7 @@ module Make (M : MSG) : sig
     ?byz:int list * byz_strategy ->
     ?crash:crash_adversary ->
     ?tap:(round:int -> envelope -> unit) ->
+    ?alloc_probe:alloc_probe ->
     ?on_crash:(round:int -> id:int -> unit) ->
     ?on_decide:(round:int -> id:int -> unit) ->
     ?on_round_end:(round:int -> Metrics.t -> unit) ->

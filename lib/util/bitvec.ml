@@ -80,11 +80,11 @@ let mask_upto b = if b >= bpw - 1 then -1 else (1 lsl (b + 1)) - 1
 (* Bits [b..62] of a word. *)
 let mask_from b = -1 lsl b
 
-let count t (seg : Interval.t) =
-  check t seg.lo;
-  check t seg.hi;
-  let i0 = (seg.lo - 1) / bpw and b0 = (seg.lo - 1) mod bpw in
-  let i1 = (seg.hi - 1) / bpw and b1 = (seg.hi - 1) mod bpw in
+let count_range t ~lo ~hi =
+  check t lo;
+  check t hi;
+  let i0 = (lo - 1) / bpw and b0 = (lo - 1) mod bpw in
+  let i1 = (hi - 1) / bpw and b1 = (hi - 1) mod bpw in
   if i0 = i1 then
     popcount (Array.unsafe_get t.words i0 land mask_from b0 land mask_upto b1)
   else begin
@@ -94,6 +94,8 @@ let count t (seg : Interval.t) =
     done;
     !acc + popcount (Array.unsafe_get t.words i1 land mask_upto b1)
   end
+
+let count t (seg : Interval.t) = count_range t ~lo:seg.lo ~hi:seg.hi
 
 let count_all t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 

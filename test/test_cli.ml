@@ -34,7 +34,7 @@ let test_crash_subcommand () =
   Alcotest.(check int) "exit 0" 0 code;
   Alcotest.(check string) "assessment line"
     "n=24 decided=20 crashed=4 byz=0 unique=true strong=true order=true \
-     rounds=45 msgs=7856 bits=176832"
+     rounds=45 msgs=7856 bits=131712"
     (last_line out)
 
 let test_byz_subcommand () =
@@ -50,7 +50,7 @@ let test_halving_subcommand () =
   Alcotest.(check int) "exit 0" 0 code;
   Alcotest.(check string) "assessment line"
     "n=12 decided=12 crashed=0 byz=0 unique=true strong=true order=true \
-     rounds=36 msgs=5184 bits=107760"
+     rounds=36 msgs=5184 bits=81264"
     (last_line out)
 
 let test_verbose_lists_assignments () =

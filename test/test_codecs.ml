@@ -25,8 +25,8 @@ let crash_msg_gen =
         return CRM.Notify;
         (let* id, iv, d, p = payload in
          return (CRM.Status { id; iv; d; p }));
-        (let* id, iv, d, p = payload in
-         return (CRM.Response { id; iv; d; p }));
+        (let* _id, iv, d, p = payload in
+         return (CRM.Response { iv; d; p }));
       ])
 
 let fp_gen =
@@ -102,7 +102,7 @@ let test_message_size_bounds () =
           p = log_n;
         };
       CRM.Response
-        { id = namespace; iv = I.make (namespace / 2) namespace; d = 0; p = 0 };
+        { iv = I.make (namespace / 2) namespace; d = 0; p = 0 };
     ]
   in
   List.iter

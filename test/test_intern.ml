@@ -1,0 +1,257 @@
+(* Zero-allocation verdict payloads: correctness pins for the three
+   sharing mechanisms the committee hot path relies on.
+
+   - {e Interning}: one canonical [Response] per (group, outcome) per
+     round, physically shared by every recipient. The fixture pins the
+     sharing itself; the QCheck differential pins that an interned
+     message is billed exactly like a freshly built structural copy —
+     sharing must be invisible to the size-accounting oracle.
+   - {e Arena rounds}: emission triples, change logs and member sets
+     live in capacity-retaining vectors and a bitvec free-list, reused
+     every round. The unit tests pin the reuse contracts — same backing
+     store across a [clear], recycled member sets come back empty — so
+     one round's contents cannot leak into the next.
+   - {e Full-run equivalence}: metrics rows and run-trace JSONL must be
+     byte-identical across all three committee paths and across shard
+     counts {1, 4}. [Linear_scan] builds every verdict fresh per
+     recipient, so byte-equal traces are the end-to-end differential
+     between interned and fresh payloads. *)
+
+module CR = Repro_renaming.Crash_renaming
+module E = Repro_renaming.Experiment
+module Runner = Repro_renaming.Runner
+module Trace = Repro_obs.Trace
+module I = Repro_util.Interval
+module Arena = Repro_util.Arena
+module Bitvec = Repro_util.Bitvec
+
+let ids8 = [| 3; 5; 9; 12; 17; 20; 28; 31 |]
+
+let status ~id ~lo ~hi ~d ~p =
+  (id, CR.Msg.Status { id; iv = I.make lo hi; d; p })
+
+(* {1 Physical sharing} *)
+
+let distinct_phys msgs =
+  List.fold_left
+    (fun acc m -> if List.exists (fun m' -> m' == m) acc then acc else m :: acc)
+    [] msgs
+
+(* All eight reporters in one depth-0 group: the bottom half's four
+   verdicts must be one message value and the top half's another — two
+   physical messages for eight recipients. *)
+let test_group_verdicts_physically_shared () =
+  let rounds =
+    [
+      Array.to_list
+        (Array.map (fun id -> status ~id ~lo:1 ~hi:8 ~d:0 ~p:0) ids8);
+    ]
+  in
+  match
+    CR.For_tests.committee_verdicts ~path:CR.Incremental ~pv:0 ~ids:ids8
+      rounds
+  with
+  | [ out ] ->
+      Alcotest.(check int) "one verdict per reporter" 8 (List.length out);
+      let msgs = List.map (fun (_, m, _) -> m) out in
+      Alcotest.(check int) "two interned messages serve eight recipients" 2
+        (List.length (distinct_phys msgs));
+      (* structural equality must imply physical equality within the
+         round: equal group verdicts are the same value *)
+      List.iter
+        (fun m ->
+          List.iter
+            (fun m' -> if m = m' && not (m == m') then
+                Alcotest.fail "equal group verdicts not shared")
+            msgs)
+        msgs
+  | outs -> Alcotest.failf "expected 1 round, got %d" (List.length outs)
+
+(* A second round with a different escalation level must not resurrect
+   the previous round's interned values: stamps gate reuse. *)
+let test_interning_is_per_round () =
+  let round p =
+    Array.to_list (Array.map (fun id -> status ~id ~lo:1 ~hi:8 ~d:0 ~p) ids8)
+  in
+  match
+    CR.For_tests.committee_verdicts ~path:CR.Incremental ~pv:0 ~ids:ids8
+      [ round 0; round 1 ]
+  with
+  | [ out1; out2 ] ->
+      List.iter2
+        (fun (_, m1, _) (_, m2, _) ->
+          if m1 == m2 then
+            Alcotest.fail "stale interned verdict reused across rounds")
+        out1 out2
+  | _ -> Alcotest.fail "expected 2 rounds"
+
+(* {1 Billing differential (QCheck)} *)
+
+(* An interned message must be billed exactly like a freshly
+   constructed structural copy — recipients of a shared value pay the
+   same wire bits as recipients of private copies. Random rounds reuse
+   the corruption mix of test_committee_paths, so fallback verdicts are
+   covered too. *)
+let fresh_copy = function
+  | CR.Msg.Response { iv; d; p } ->
+      CR.Msg.Response { iv = I.make iv.I.lo iv.I.hi; d; p }
+  | CR.Msg.Status { id; iv; d; p } ->
+      CR.Msg.Status { id; iv = I.make iv.I.lo iv.I.hi; d; p }
+  | CR.Msg.Notify -> CR.Msg.Notify
+
+let qcheck_interned_billed_as_fresh =
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* nrounds = int_range 1 4 in
+      list_repeat nrounds
+        (List.fold_right
+           (fun id acc ->
+             let* acc = acc in
+             let* keep = bool in
+             if not keep then return acc
+             else
+               let* d = int_range 0 3 in
+               let* index = int_range 0 ((1 lsl d) - 1) in
+               let iv =
+                 match I.tree_vertex_at ~n:8 ~depth:d ~index with
+                 | Some iv -> iv
+                 | None -> I.full 8
+               in
+               let* p = int_range 0 2 in
+               return ((id, CR.Msg.Status { id; iv; d; p }) :: acc))
+           (Array.to_list ids8) (return [])))
+  in
+  let print rounds =
+    String.concat " | "
+      (List.map
+         (fun pairs ->
+           String.concat ";"
+             (List.map
+                (fun (src, m) ->
+                  Printf.sprintf "%d<-%s" src
+                    (Format.asprintf "%a" CR.Msg.pp m))
+                pairs))
+         rounds)
+  in
+  Test.make ~name:"interned verdicts billed like fresh copies" ~count:200
+    (make ~print gen) (fun rounds ->
+      List.for_all
+        (List.for_all (fun (_, msg, bits) ->
+             let fresh = fresh_copy msg in
+             fresh = msg && CR.Msg.bits fresh = bits))
+        (CR.For_tests.committee_verdicts ~path:CR.Incremental ~pv:0
+           ~ids:ids8 rounds))
+
+(* {1 Arena reuse contracts} *)
+
+let test_vec_clear_retains_capacity () =
+  let v = Arena.Vec.create ~dummy:(-1) in
+  for i = 1 to 100 do
+    Arena.Vec.push v i
+  done;
+  let d1 = Arena.Vec.data v in
+  Arena.Vec.clear v;
+  Alcotest.(check int) "clear empties" 0 (Arena.Vec.length v);
+  for i = 1 to 50 do
+    Arena.Vec.push v (1000 + i)
+  done;
+  Alcotest.(check bool) "backing array reused across clear" true
+    (d1 == Arena.Vec.data v);
+  for i = 0 to 49 do
+    Alcotest.(check int) "round-2 prefix wins" (1001 + i) (Arena.Vec.get v i)
+  done;
+  (* indices from the previous round are dead after the clear *)
+  Alcotest.check_raises "stale index rejected"
+    (Invalid_argument "Arena.Vec.get") (fun () ->
+      ignore (Arena.Vec.get v 50))
+
+let test_bitpool_recycles_cleared () =
+  let p = Arena.Bitpool.create ~width:64 in
+  let a = Arena.Bitpool.acquire p in
+  Bitvec.set a 5 true;
+  Bitvec.set a 63 true;
+  Arena.Bitpool.release p a;
+  let b = Arena.Bitpool.acquire p in
+  Alcotest.(check bool) "released vector is recycled" true (a == b);
+  Alcotest.(check int) "recycled vector carries no stale members" 0
+    (Bitvec.count_all b);
+  let c = Arena.Bitpool.acquire p in
+  Alcotest.(check bool) "drained pool allocates fresh" false (b == c)
+
+(* Group churn through the committee: groups are pruned (member sets
+   released to the pool) and new ones inserted (sets re-acquired) as
+   the descent moves d_min; any stale bit in a recycled set would skew
+   ranks and split the halves wrongly. Scan builds everything fresh, so
+   agreement is the leak check. *)
+let test_committee_recycling_matches_scan () =
+  let round ~lo ~hi ~d =
+    Array.to_list (Array.map (fun id -> status ~id ~lo ~hi ~d ~p:0) ids8)
+  in
+  let rounds =
+    [ round ~lo:1 ~hi:8 ~d:0; round ~lo:1 ~hi:4 ~d:1; round ~lo:5 ~hi:8 ~d:1 ]
+  in
+  let out path =
+    CR.For_tests.committee_verdicts ~path ~pv:0 ~ids:ids8 rounds
+  in
+  Alcotest.(check bool) "recycled member sets agree with scan" true
+    (out CR.Incremental = out CR.Linear_scan)
+
+(* {1 Full-run byte equivalence: paths x shards} *)
+
+let run_one ~path ~shards ~adversary ~seed =
+  let t = Trace.create ~meta:[ ("algo", `Str "this-work") ] () in
+  let a =
+    E.run_crash ~trace:t ~committee_path:path ~shards
+      ~protocol:E.This_work_crash ~n:48 ~namespace:3072 ~adversary ~seed ()
+  in
+  (Trace.contents t, a)
+
+let test_runs_identical_paths_shards () =
+  List.iter
+    (fun (aname, adversary) ->
+      let tr_ref, a_ref =
+        run_one ~path:CR.Linear_scan ~shards:1 ~adversary ~seed:71
+      in
+      Alcotest.(check bool) (aname ^ ": reference correct") true
+        a_ref.Runner.correct;
+      List.iter
+        (fun path ->
+          List.iter
+            (fun shards ->
+              let tr, a = run_one ~path ~shards ~adversary ~seed:71 in
+              let label =
+                Printf.sprintf "%s: path=%s shards=%d" aname
+                  (match path with
+                  | CR.Incremental -> "inc"
+                  | CR.Rebuild_each_round -> "rebuild"
+                  | CR.Linear_scan -> "scan")
+                  shards
+              in
+              Alcotest.(check string) (label ^ " trace bytes") tr_ref tr;
+              Alcotest.(check (list (pair int int)))
+                (label ^ " assignments") a_ref.Runner.assignments
+                a.Runner.assignments;
+              Alcotest.(check int) (label ^ " bits") a_ref.Runner.bits
+                a.Runner.bits)
+            [ 1; 4 ])
+        [ CR.Incremental; CR.Rebuild_each_round; CR.Linear_scan ])
+    [ ("no-fault", E.No_crash); ("killer", E.Committee_killer 12) ]
+
+let suite =
+  ( "intern-arena",
+    [
+      Alcotest.test_case "group verdicts physically shared" `Quick
+        test_group_verdicts_physically_shared;
+      Alcotest.test_case "interning is per-round" `Quick
+        test_interning_is_per_round;
+      QCheck_alcotest.to_alcotest qcheck_interned_billed_as_fresh;
+      Alcotest.test_case "vec clear retains capacity, kills indices" `Quick
+        test_vec_clear_retains_capacity;
+      Alcotest.test_case "bitpool recycles cleared vectors" `Quick
+        test_bitpool_recycles_cleared;
+      Alcotest.test_case "committee recycling matches scan" `Quick
+        test_committee_recycling_matches_scan;
+      Alcotest.test_case "full runs byte-identical (paths x shards)" `Quick
+        test_runs_identical_paths_shards;
+    ] )

@@ -307,6 +307,40 @@ let test_d4_shard_shapes () =
   Alcotest.(check int) "clean outside domain-shared dirs" 0
     (List.length findings)
 
+(* The verdict-emission arenas (lib/util/arena.ml): an arena is per-run
+   state by contract — a module-level arena under a domain-shared
+   library is D4 at the definition, and a parallel closure pushing
+   into it is an S1 escape (plus S2: a [Vec.push] can grow the backing
+   array, so two shards sharing one vector race on the resize). The
+   fixture holds both rejected globals and the chosen per-run
+   committee shape; only the globals and the [Pool.run] site fire. *)
+let test_d4_arena_ownership () =
+  let source = read (fixture "d4_arena.ml") in
+  let findings, suppressed =
+    Lint.lint_string ~filename:"lib/util/d4_arena.ml" source
+  in
+  Alcotest.(check int) "exactly the two global arenas fire" 2
+    (List.length findings);
+  Alcotest.(check (list string)) "both D4" [ "D4" ] (rules_of findings);
+  Alcotest.(check int) "nothing suppressed" 0 suppressed;
+  let findings, _ = Lint.lint_file (fixture "d4_arena.ml") in
+  Alcotest.(check int) "clean outside domain-shared dirs" 0
+    (List.length findings);
+  (* project pass: the shard closure writing through the global arena *)
+  let r = Lint.lint_project [ ("lib/util/d4_arena.ml", source) ] in
+  let flow =
+    List.filter
+      (fun (f : Finding.t) -> f.Finding.rule <> "D4")
+      r.Lint.p_findings
+  in
+  Alcotest.(check (list string))
+    "global-arena push under Pool.run is S1 + S2" [ "S1"; "S2" ]
+    (rules_of flow);
+  Alcotest.(check bool) "S1 names the global vector" true
+    (List.exists
+       (fun (f : Finding.t) -> contains f.Finding.message "out_msgs")
+       flow)
+
 (* {2 Project-wide pass (lint v2): S/N/W rule families}
 
    [project] lints fixtures under a chosen logical path so the
@@ -525,6 +559,8 @@ let suite =
         test_d4_size_cache;
       Alcotest.test_case "D4 shard-state routes (pool + broadcast table)"
         `Quick test_d4_shard_shapes;
+      Alcotest.test_case "D4/S1 arena ownership" `Quick
+        test_d4_arena_ownership;
       Alcotest.test_case "D5 fixtures" `Quick test_d5;
       Alcotest.test_case "D1 path exemptions" `Quick test_d1_path_exemptions;
       Alcotest.test_case "parse error is E0" `Quick test_parse_error_is_e0;

@@ -158,7 +158,7 @@ let test_codec_roundtrips () =
     [
       CR.Msg.Notify;
       CR.Msg.Status { id = 71; iv; d = 2; p = 1 };
-      CR.Msg.Response { id = 4095; iv; d = 11; p = 0 };
+      CR.Msg.Response { iv; d = 11; p = 0 };
     ];
   (* halving shares [CR.Msg]; flooding's set message exercises the
      delta-gamma list codec *)
